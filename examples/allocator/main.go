@@ -1,0 +1,94 @@
+// Allocator: tune a custom GCN pipeline with the paper's Algorithm 1
+// and compare it against the baseline allocation policies.
+//
+// This example drives the internal building blocks directly — the
+// stage timing model, the allocators, and the pipeline scheduler — to
+// show how an unbalanced pipeline (aggregation hundreds of times
+// slower than combination) responds to different replica policies.
+//
+// Run with:
+//
+//	go run ./examples/allocator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gopim/internal/alloc"
+	"gopim/internal/graphgen"
+	"gopim/internal/pipeline"
+	"gopim/internal/reram"
+	"gopim/internal/stage"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A custom 2-layer GCN on a mid-sized power-law graph.
+	d, err := graphgen.ByName("ddi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.HiddenCh = 512 // customise the architecture
+	cfg := stage.Config{
+		Chip:       reram.DefaultChip(),
+		Dataset:    d,
+		Deg:        d.SynthDegreeModel(7),
+		MicroBatch: 64,
+	}
+	stages := stage.Build(cfg)
+	numMB := (cfg.Deg.N + cfg.MicroBatch - 1) / cfg.MicroBatch
+
+	fmt.Println("pipeline stages (per-micro-batch, single replica):")
+	for _, s := range stages {
+		fmt.Printf("  %-4s %10.1f µs  %7d crossbars/replica\n",
+			s.Name, s.TimeNS/1e3, s.Crossbars)
+	}
+
+	// Give every policy the same unused-crossbar budget.
+	budget := cfg.Chip.TotalCrossbars() - stage.TotalCrossbars(stages)
+	req := alloc.FromStages(stages, budget, numMB)
+	caps := make([]int, len(stages))
+	for i := range caps {
+		caps[i] = numMB * cfg.MicroBatch
+	}
+	req.MaxReplicas = caps
+
+	policies := []struct {
+		name string
+		run  func(alloc.Request) alloc.Result
+	}{
+		{"no replicas", func(r alloc.Request) alloc.Result {
+			ones := make([]int, len(stages))
+			for i := range ones {
+				ones[i] = 1
+			}
+			return alloc.Result{Replicas: ones}
+		}},
+		{"equal split (Pipelayer)", alloc.EqualSplit},
+		{"fixed 1:2 (ReGraphX)", func(r alloc.Request) alloc.Result { return alloc.FixedRatio(r, 1, 2) }},
+		{"combination-only (ReFlip)", alloc.CombinationOnly},
+		{"greedy (GoPIM Algorithm 1)", alloc.Greedy},
+	}
+
+	fmt.Printf("\nallocation policies (budget %d crossbars, B=%d micro-batches):\n", budget, numMB)
+	var base float64
+	for _, p := range policies {
+		res := p.run(req)
+		sched := pipeline.Simulate(pipeline.Input{
+			TimesNS:      req.TimesNS,
+			Replicas:     res.Replicas,
+			MicroBatches: numMB,
+			Mode:         pipeline.IntraInterBatch,
+		})
+		if base == 0 {
+			base = sched.MakespanNS
+		}
+		fmt.Printf("  %-28s makespan %10.3f ms  speedup %8.1fx  crossbars used %d\n",
+			p.name, sched.MakespanNS/1e6, base/sched.MakespanNS, res.Used)
+	}
+
+	fmt.Println("\nthe greedy pours replicas into the aggregation bottleneck, which is")
+	fmt.Println("exactly the paper's Fig. 5 argument at real-workload scale.")
+}

@@ -1,0 +1,60 @@
+// Analog: run a trained GCN layer through the functional crossbar
+// simulator — bit-serial DAC streaming, per-tile ADC digitisation,
+// shift-and-add recombination — and measure how much numerical error
+// the analog pipeline injects compared with exact float arithmetic,
+// across ADC resolutions.
+//
+// Run with:
+//
+//	go run ./examples/analog
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gopim/internal/crossbar"
+	"gopim/internal/graphgen"
+	"gopim/internal/quant"
+	"gopim/internal/reram"
+	"gopim/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	chip := reram.DefaultChip()
+	rng := rand.New(rand.NewSource(13))
+
+	// A combination-stage weight matrix and a batch of vertex features,
+	// shaped like the ddi workload's first layer.
+	d, err := graphgen.ByName("ddi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, hidden := d.InputCh, 64 // trimmed width for a quick run
+	w := tensor.NewGlorot(rng, in, hidden)
+	features := tensor.NewRandom(rng, 64, in, 1)
+
+	array := crossbar.Program(chip, w)
+	fmt.Printf("programmed %dx%d weights at %d-bit precision over %d-bit cells\n",
+		in, hidden, chip.WeightBits, chip.BitsPerCell)
+	fmt.Printf("(each value spans %d differential cell pairs; inputs stream %d bits/cycle)\n\n",
+		quant.CellsPerValue(chip.WeightBits, chip.BitsPerCell), chip.DACBits)
+
+	exact := tensor.MatMul(features, w)
+	fmt.Println("analog MVM error vs float64, by ADC resolution:")
+	for _, adc := range []int{4, 6, 8, 10, 12, 16} {
+		got := array.MVMBatch(features, crossbar.MVMOptions{ADCBits: adc})
+		err := crossbar.RelativeError(got.Data, exact.Data)
+		bar := ""
+		for i := 0; float64(i) < err*200; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %2d-bit ADC: %.5f  %s\n", adc, err, bar)
+	}
+	fmt.Println("\nthe Table II chip's 8-bit ADC sits at the knee of this curve: a few")
+	fmt.Println("percent of per-layer noise, which production designs squeeze further")
+	fmt.Println("with input/weight splitting. Below ~6 bits the pipeline falls off a")
+	fmt.Println("cliff — the resolution trade-off NeuroSim-class simulators map out.")
+}

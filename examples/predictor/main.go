@@ -1,0 +1,70 @@
+// Predictor: train GoPIM's execution-time predictor (the 10-256-1 MLP
+// of paper §V-A) on simulator-generated profiles, evaluate it against
+// the baseline regressor families of Fig. 9, and use its predictions
+// to drive replica allocation.
+//
+// Run with:
+//
+//	go run ./examples/predictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gopim/internal/graphgen"
+	"gopim/internal/predictor"
+	"gopim/internal/reram"
+	"gopim/internal/stage"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Generate a profile dataset by sweeping workloads through the
+	// timing model (the paper collects the same samples by profiling
+	// its simulator for 7 days; ours takes seconds).
+	spec := predictor.ProfileSpec{
+		Seed:         1,
+		Scales:       []float64{0.2, 1.0},
+		HiddenWidths: []int{128, 256},
+		MicroBatches: []int{32, 64, 128},
+		MaxVertices:  50_000,
+	}
+	samples := predictor.Generate(spec)
+	train, test := predictor.SplitTrainTest(samples, 0.2)
+	fmt.Printf("profile dataset: %d samples (%d train / %d test)\n\n",
+		len(samples), len(train), len(test))
+
+	// Fig. 9(a): model family bake-off.
+	fmt.Println("model family RMSE (normalised log-time):")
+	for _, m := range predictor.Fig9Models() {
+		rmse := predictor.ModelRMSE(m.New, train, test)
+		fmt.Printf("  %-4s %.4f\n", m.Name, rmse)
+	}
+
+	// Train the production predictor and inspect its predictions.
+	p := predictor.NewTimePredictor()
+	p.Train(train)
+	fmt.Printf("\nMLP predictor: test RMSE %.4f, mean relative error %.1f%%\n\n",
+		p.RMSE(test), p.MeanRelativeError(test)*100)
+
+	d, err := graphgen.ByName("ddi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := stage.Config{
+		Chip:       reram.DefaultChip(),
+		Dataset:    d,
+		Deg:        d.SynthDegreeModel(1),
+		MicroBatch: 64,
+	}
+	predicted := p.PredictTimes(cfg)
+	fmt.Println("predicted vs simulated stage times on ddi (µs/micro-batch):")
+	for i, s := range stage.Build(cfg) {
+		fmt.Printf("  %-4s predicted %9.1f   simulated %9.1f\n",
+			s.Name, predicted[i]/1e3, s.TimeNS/1e3)
+	}
+	fmt.Println("\nthese predictions feed Algorithm 1, replacing 1688-second")
+	fmt.Println("profiling runs with a millisecond forward pass (paper §V-A).")
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate GCN training on the GoPIM accelerator and its
+// baselines for one dataset, and print the paper-style comparison.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gopim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The catalog carries the paper's seven datasets (Tables III/IV).
+	fmt.Println("datasets:")
+	for _, d := range gopim.Datasets() {
+		fmt.Printf("  %-9s %7d vertices  avg degree %6.1f  task %v\n",
+			d.Name, d.PaperVertices, d.PaperAvgDeg, d.Task)
+	}
+	fmt.Println()
+
+	// Run the full baseline set on ddi — the paper's headline workload.
+	cmp, err := gopim.Compare("ddi", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmp.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Inspect one run in detail: where did GoPIM put its replicas?
+	d, err := gopim.DatasetByName("ddi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := gopim.Simulate(gopim.GoPIM, gopim.Workload{Dataset: d, Seed: 1})
+	fmt.Printf("GoPIM on ddi: makespan %.3f ms, %d micro-batches, %.0f%% of rows rewritten per epoch\n",
+		r.MakespanNS/1e6, r.MicroBatches, r.UpdateFraction*100)
+	fmt.Println("replica allocation (aggregation stages dominate, as in paper Table VI):")
+	for i, name := range r.StageNames {
+		fmt.Printf("  %-4s replicas %5d  (%7d crossbars, idle %5.1f%%)\n",
+			name, r.Replicas[i], r.Replicas[i]*r.CrossbarsPerStage[i], r.IdleFrac[i]*100)
+	}
+}

@@ -1,0 +1,3 @@
+module gopim
+
+go 1.22

@@ -1,0 +1,87 @@
+package gopim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasets(t *testing.T) {
+	if len(Datasets()) != 7 {
+		t.Fatalf("want the paper's 7 datasets, got %d", len(Datasets()))
+	}
+	d, err := DatasetByName("ddi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PaperVertices != 4267 {
+		t.Fatalf("ddi vertices = %d", d.PaperVertices)
+	}
+	if _, err := DatasetByName("none"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSimulateAndSpeedup(t *testing.T) {
+	d, _ := DatasetByName("ddi")
+	w := Workload{Dataset: d, Seed: 1}
+	serial := Simulate(Serial, w)
+	gopim := Simulate(GoPIM, w)
+	if sp := Speedup(serial, gopim); sp < 10 {
+		t.Fatalf("GoPIM speedup = %v, want substantial", sp)
+	}
+	if es := EnergySaving(serial, gopim); es <= 1 {
+		t.Fatalf("GoPIM energy saving = %v, want > 1", es)
+	}
+}
+
+func TestDefaultChipMatchesPaper(t *testing.T) {
+	c := DefaultChip()
+	if c.Tiles != 65536 || c.CrossbarRows != 64 {
+		t.Fatalf("chip config wrong: %+v", c)
+	}
+}
+
+func TestCompareRender(t *testing.T) {
+	c, err := Compare("Cora", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Reports) != 6 {
+		t.Fatalf("want 6 baselines, got %d", len(c.Reports))
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Cora", "Serial", "GoPIM", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Compare("bogus", 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	empty := &Comparison{}
+	if err := empty.Render(&buf); err == nil {
+		t.Fatal("expected error for empty comparison")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 16 {
+		t.Fatalf("want 16 experiments, got %d: %v", len(ids), ids)
+	}
+	res, err := RunExperiment("fig7", ExperimentOptions{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig7" || len(res.Rows) == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if _, err := RunExperiment("zzz", ExperimentOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

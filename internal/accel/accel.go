@@ -1,0 +1,327 @@
+// Package accel assembles the substrates — stage timing, mapping,
+// replica allocation, pipeline scheduling and energy accounting — into
+// the six accelerator models the paper evaluates (§VII-A):
+//
+//	Serial        sequential execution, no pipeline, no sparsification
+//	SlimGNN-like  intra-batch pipeline, space-proportional replicas,
+//	              input subgraph pruning, index mapping
+//	ReGraphX      intra-batch pipeline, fixed CO:AG = 1:2 replicas
+//	ReFlip        intra+inter pipeline, combination-only replicas,
+//	              hybrid-execution reload penalty
+//	GoPIM-Vanilla intra+inter pipeline, ML-allocated replicas, no ISU
+//	GoPIM         everything above plus ISU
+//
+// plus the ablation variants of Fig. 14 (+PP, +ISU).
+// All models receive identical crossbar budgets.
+package accel
+
+import (
+	"fmt"
+
+	"gopim/internal/alloc"
+	"gopim/internal/energy"
+	"gopim/internal/graphgen"
+	"gopim/internal/mapping"
+	"gopim/internal/pipeline"
+	"gopim/internal/reram"
+	"gopim/internal/stage"
+)
+
+// Kind names an accelerator model.
+type Kind int
+
+const (
+	Serial Kind = iota
+	SlimGNNLike
+	ReGraphX
+	ReFlip
+	GoPIMVanilla
+	GoPIM
+	// PlusPP is the Fig. 14 "+PP" ablation: intra+inter pipelining with
+	// no replicas and no ISU. It is also the "Naive" pipelined baseline
+	// of Fig. 15.
+	PlusPP
+	// PlusISU is the Fig. 14 "+ISU" ablation: +PP plus interleaved
+	// selective updating, still without replicas.
+	PlusISU
+	// Pipelayer is the equal-replica strawman the paper cites
+	// (Pipelayer "uses the same number of replicas for all stages",
+	// §I): intra-batch pipelining with a uniform replica count.
+	Pipelayer
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Serial:
+		return "Serial"
+	case SlimGNNLike:
+		return "SlimGNN-like"
+	case ReGraphX:
+		return "ReGraphX"
+	case ReFlip:
+		return "ReFlip"
+	case GoPIMVanilla:
+		return "GoPIM-Vanilla"
+	case GoPIM:
+		return "GoPIM"
+	case PlusPP:
+		return "+PP"
+	case PlusISU:
+		return "+ISU"
+	case Pipelayer:
+		return "Pipelayer"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllBaselines lists the models of the headline comparison (Fig. 13).
+func AllBaselines() []Kind {
+	return []Kind{Serial, SlimGNNLike, ReGraphX, ReFlip, GoPIMVanilla, GoPIM}
+}
+
+// SlimGNNPruneFraction is the input-subgraph pruning rate of the
+// SlimGNN-like baseline.
+const SlimGNNPruneFraction = 0.3
+
+// ReFlipAGSpeedup is the aggregation-MVM speedup of ReFlip's
+// row/column hybrid execution (operand reuse across vertices), paid
+// for with the reload write penalty.
+const ReFlipAGSpeedup = 8.0
+
+// IntraSplit is how many ways one micro-batch's work can usefully be
+// split across replicas of the same stage before input distribution
+// and result gathering serialise the copies.
+const IntraSplit = 32
+
+// Workload is one dataset × model × hardware configuration to run.
+type Workload struct {
+	Chip    reram.Chip
+	Dataset graphgen.Dataset
+	// Deg is the graph degree model; nil synthesises it from the
+	// dataset's paper statistics with Seed.
+	Deg  *graphgen.DegreeModel
+	Seed int64
+	// MicroBatch defaults to 64 (paper §VII-A).
+	MicroBatch int
+	// MicroBatchesPerBatch bounds intra-batch pipelines (default 8).
+	MicroBatchesPerBatch int
+	// PredictedTimes, when set, replaces profiled stage times as the
+	// allocator's input (GoPIM's ML path). Evaluation always uses the
+	// true times.
+	PredictedTimes []float64
+	// ThetaOverride forces the selective-updating threshold for
+	// GoPIM-family models (0 = the paper's adaptive θ).
+	ThetaOverride float64
+}
+
+func (w *Workload) defaults() {
+	if w.MicroBatch == 0 {
+		w.MicroBatch = 64
+	}
+	if w.MicroBatchesPerBatch == 0 {
+		w.MicroBatchesPerBatch = 8
+	}
+	if w.Chip.Tiles == 0 {
+		w.Chip = reram.DefaultChip()
+	}
+	if w.Deg == nil {
+		w.Deg = w.Dataset.SynthDegreeModel(w.Seed)
+	}
+}
+
+// Report is the outcome of simulating one accelerator on one workload.
+type Report struct {
+	Kind       Kind
+	Dataset    string
+	MakespanNS float64
+	Energy     energy.Breakdown
+	// Replicas per stage (1 = original mapping only).
+	Replicas []int
+	// StageNames aligns with Replicas and IdleFrac.
+	StageNames []string
+	// StageTimesNS are the true per-micro-batch single-replica stage
+	// times the schedule used.
+	StageTimesNS []float64
+	// CrossbarsPerStage is the single-replica footprint per stage.
+	CrossbarsPerStage []int
+	// CrossbarsUsed counts all crossbars incl. replicas.
+	CrossbarsUsed int
+	// IdleFrac per stage (paper Figs. 4/15).
+	IdleFrac []float64
+	// MicroBatches is B for this run (one epoch sweep).
+	MicroBatches int
+	// UpdateFraction is the steady-state fraction of vertex rows
+	// rewritten per epoch (1 without ISU).
+	UpdateFraction float64
+}
+
+// EnergyPJ is shorthand for the total energy.
+func (r Report) EnergyPJ() float64 { return r.Energy.TotalPJ() }
+
+// Run simulates one accelerator model on a workload: build stages
+// under the model's mapping policy, allocate replicas under its
+// policy, schedule the pipeline, and account energy.
+func Run(kind Kind, w Workload) Report {
+	w.defaults()
+	n := w.Deg.N
+	numMB := (n + w.MicroBatch - 1) / w.MicroBatch
+	if numMB < 1 {
+		numMB = 1
+	}
+
+	cfg := stage.Config{
+		Chip:       w.Chip,
+		Dataset:    w.Dataset,
+		Deg:        w.Deg,
+		MicroBatch: w.MicroBatch,
+	}
+	updateFraction := 1.0
+	switch kind {
+	case SlimGNNLike:
+		cfg.PruneEdgeFraction = SlimGNNPruneFraction
+	case ReFlip:
+		cfg.ReloadPenalty = true
+		cfg.AGMVMSpeedup = ReFlipAGSpeedup
+	case GoPIM, PlusISU:
+		theta := w.ThetaOverride
+		if theta == 0 {
+			theta = w.Dataset.AdaptiveTheta()
+		}
+		degs := w.Deg.DegreesByIndex
+		cfg.Layout = mapping.InterleavedLayout(degs, w.Chip.CrossbarRows)
+		cfg.Plan = mapping.NewUpdatePlan(degs, theta, 20)
+		updateFraction = cfg.Plan.AvgUpdateFraction()
+	}
+	stages := stage.Build(cfg)
+
+	// Shared crossbar budget: whatever the chip has beyond the original
+	// mappings.
+	originals := stage.TotalCrossbars(stages)
+	budget := w.Chip.TotalCrossbars() - originals
+	if budget < 0 {
+		budget = 0
+	}
+
+	mode := pipeline.IntraInterBatch
+	switch kind {
+	case Serial:
+		mode = pipeline.Serial
+	case SlimGNNLike, ReGraphX, Pipelayer:
+		mode = pipeline.IntraBatch
+	}
+
+	// Replica usefulness cap: in-flight micro-batches (the pipelining
+	// window) times the intra-micro-batch split factor. Splitting one
+	// micro-batch across copies stops paying off quickly (input
+	// distribution and result gathering serialise), so the split factor
+	// is IntraSplit (8), which also reproduces the scale of the paper's
+	// Table VI replica counts (hundreds, ≈ 9× the micro-batch count).
+	window := numMB
+	switch kind {
+	case Serial:
+		window = 1
+	case SlimGNNLike, ReGraphX, Pipelayer:
+		window = w.MicroBatchesPerBatch
+	}
+	caps := make([]int, len(stages))
+	for i := range caps {
+		caps[i] = window * IntraSplit
+	}
+
+	req := alloc.FromStages(stages, budget, numMB)
+	req.MaxReplicas = caps
+	allocTimes := req.TimesNS
+	if w.PredictedTimes != nil {
+		if len(w.PredictedTimes) != len(stages) {
+			panic(fmt.Sprintf("accel: %d predicted times for %d stages", len(w.PredictedTimes), len(stages)))
+		}
+		allocTimes = w.PredictedTimes
+	}
+
+	var res alloc.Result
+	switch kind {
+	case Serial, PlusPP, PlusISU:
+		res = alloc.Result{Replicas: onesFor(stages)}
+	case SlimGNNLike:
+		res = alloc.SpaceProportional(req)
+	case Pipelayer:
+		res = alloc.EqualSplit(req)
+	case ReGraphX:
+		res = alloc.FixedRatio(req, 1, 2)
+	case ReFlip:
+		// ReFlip replicates combination stages only; like any real
+		// design it stops when further copies stop helping, so restrict
+		// the benefit-aware greedy to CO stages rather than flooding
+		// the chip with idle weight copies.
+		coReq := req
+		coReq.Replicable = append([]bool(nil), req.Replicable...)
+		for i, k := range req.Kinds {
+			if k != stage.Combination {
+				coReq.Replicable[i] = false
+			}
+		}
+		res = alloc.Greedy(coReq)
+	case GoPIMVanilla, GoPIM:
+		mlReq := req
+		mlReq.TimesNS = allocTimes
+		res = alloc.Greedy(mlReq)
+	default:
+		panic(fmt.Sprintf("accel: unknown kind %v", kind))
+	}
+
+	sched := pipeline.Simulate(pipeline.Input{
+		TimesNS:              req.TimesNS, // true times, always
+		Replicas:             res.Replicas,
+		MicroBatches:         numMB,
+		MicroBatchesPerBatch: w.MicroBatchesPerBatch,
+		Mode:                 mode,
+	})
+
+	crossbarsUsed := originals + res.Used
+	replicaXB := make([]int, len(stages))
+	for i, s := range stages {
+		replicaXB[i] = (res.Replicas[i] - 1) * s.Crossbars
+	}
+	eng := energy.ComputeSchedule(w.Chip, stages, numMB, sched.MakespanNS,
+		originals, replicaXB, sched.BusyNS)
+
+	names := make([]string, len(stages))
+	xbs := make([]int, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+		xbs[i] = s.Crossbars
+	}
+	return Report{
+		Kind:              kind,
+		Dataset:           w.Dataset.Name,
+		StageTimesNS:      req.TimesNS,
+		MakespanNS:        sched.MakespanNS,
+		Energy:            eng,
+		Replicas:          res.Replicas,
+		StageNames:        names,
+		CrossbarsPerStage: xbs,
+		CrossbarsUsed:     crossbarsUsed,
+		IdleFrac:          sched.IdleFrac,
+		MicroBatches:      numMB,
+		UpdateFraction:    updateFraction,
+	}
+}
+
+func onesFor(stages []stage.Stage) []int {
+	r := make([]int, len(stages))
+	for i := range r {
+		r[i] = 1
+	}
+	return r
+}
+
+// Speedup returns base's makespan divided by other's.
+func Speedup(base, other Report) float64 {
+	return base.MakespanNS / other.MakespanNS
+}
+
+// EnergySaving returns base's energy divided by other's.
+func EnergySaving(base, other Report) float64 {
+	return base.EnergyPJ() / other.EnergyPJ()
+}

@@ -1,0 +1,59 @@
+package accel
+
+import (
+	"testing"
+
+	"gopim/internal/trace"
+)
+
+// The closed-form pipeline model (paper equation (6), used by every
+// accelerator run) must agree with the replica-level discrete-event
+// simulator on a real workload's stage times and replica allocation —
+// within one pipeline fill, which is the inherent gap between the
+// data-parallel (t/r) and round-robin replica semantics.
+func TestClosedFormAgreesWithEventTrace(t *testing.T) {
+	for _, kind := range []Kind{GoPIM, ReGraphX, ReFlip} {
+		r := Run(kind, ddiWorkload(t))
+
+		tr := trace.Simulate(trace.Input{
+			TimesNS:      r.StageTimesNS,
+			Replicas:     r.Replicas,
+			MicroBatches: r.MicroBatches,
+		})
+		var fill float64
+		for _, ts := range r.StageTimesNS {
+			fill += ts
+		}
+		// The accelerator report's makespan uses the t/r closed form
+		// (for the intra+inter modes); the trace must be within the
+		// fill/drain envelope above it.
+		if kind == GoPIM || kind == ReFlip {
+			if tr.MakespanNS < r.MakespanNS-1e-6 {
+				t.Fatalf("%v: trace %v beat the closed form %v — impossible", kind, tr.MakespanNS, r.MakespanNS)
+			}
+			if tr.MakespanNS > r.MakespanNS+2*fill {
+				t.Fatalf("%v: trace %v too far above closed form %v (fill %v)",
+					kind, tr.MakespanNS, r.MakespanNS, fill)
+			}
+		}
+		// The trace's bottleneck stage must also be the report's least
+		// idle stage.
+		util := tr.StageUtilization()
+		best, bestU := 0, 0.0
+		for i, u := range util {
+			if u > bestU {
+				best, bestU = i, u
+			}
+		}
+		leastIdle, idleV := 0, 2.0
+		for i, f := range r.IdleFrac {
+			if f < idleV {
+				leastIdle, idleV = i, f
+			}
+		}
+		if best != leastIdle {
+			t.Logf("%v: trace bottleneck %s vs report %s (acceptable when near-tied)",
+				kind, r.StageNames[best], r.StageNames[leastIdle])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gopim/internal/stage"
+)
+
+// randomRequest builds an n-stage allocation instance.
+func randomRequest(rng *rand.Rand, n, budget, b int) Request {
+	req := Request{
+		TimesNS:      make([]float64, n),
+		Crossbars:    make([]int, n),
+		Replicable:   make([]bool, n),
+		Kinds:        make([]stage.Kind, n),
+		Budget:       budget,
+		MicroBatches: b,
+	}
+	for i := 0; i < n; i++ {
+		req.TimesNS[i] = 1 + rng.Float64()*1000
+		req.Crossbars[i] = 1 + rng.Intn(50)
+		req.Replicable[i] = true
+		req.Kinds[i] = stage.Kind(i % 4)
+	}
+	return req
+}
+
+// The paper's §V-B decision-time claim: dynamic programming takes days
+// on large instances while the max-heap greedy finishes immediately.
+// This bench pair exposes the asymptotic gap — the exact search
+// explodes with budget, the greedy grows linearly.
+func BenchmarkDecisionTimeGreedy(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		n := n
+		b.Run(fmt.Sprintf("stages=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			req := randomRequest(rng, n, 100_000, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Greedy(req)
+			}
+		})
+	}
+}
+
+func BenchmarkDecisionTimeOptimal(b *testing.B) {
+	for _, budget := range []int{8, 16} {
+		budget := budget
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			req := randomRequest(rng, 4, budget, 64)
+			// Unit crossbar costs make the exact search as hard as the
+			// budget allows.
+			for i := range req.Crossbars {
+				req.Crossbars[i] = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Optimal(req, budget+1)
+			}
+		})
+	}
+}
+
+func BenchmarkFixedRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	req := randomRequest(rng, 12, 100_000, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FixedRatio(req, 1, 2)
+	}
+}

@@ -1,0 +1,237 @@
+// Package crossbar is a functional simulator of in-situ ReRAM
+// matrix-vector multiplication: it computes MVMs the way the analog
+// array does, rather than with float arithmetic.
+//
+// A weight matrix is programmed as integer cell slices (quant package):
+// each 16-bit value becomes 8 two-bit conductances on a differential
+// column pair. An input vector streams bit-serially through the DACs
+// (2 bits per cycle for the Table II chip); each cycle, every bitline
+// accumulates Σ inputSlice·cellSlice as an analog current, the ADC
+// digitises the column sum at its resolution (8 bits — saturating!),
+// and the shift-and-add units recombine cycles and cell slices into
+// the final dot products.
+//
+// The package answers a question the analytic timing model cannot:
+// how much numerical error the analog pipeline (especially ADC
+// saturation) injects, which is the NeuroSim fidelity axis the paper's
+// simulator inherits. Tests verify the digital path is exact when the
+// ADC is wide enough and characterise the saturation regime.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+
+	"gopim/internal/quant"
+	"gopim/internal/reram"
+	"gopim/internal/tensor"
+)
+
+// Array is a weight matrix programmed onto crossbar cells.
+type Array struct {
+	chip reram.Chip
+	rows int
+	cols int
+	// cells[s] holds slice s of every weight: cells[s][r*cols+c] is the
+	// s-th bitsPerCell-wide slice of |w[r][c]|; sign[r*cols+c] records
+	// the differential polarity.
+	cells  [][]uint8
+	sign   []bool
+	scheme quant.Scheme
+}
+
+// Program quantises w to the chip's weight precision and stores it as
+// cell slices.
+func Program(chip reram.Chip, w *tensor.Matrix) *Array {
+	if err := chip.Validate(); err != nil {
+		panic(err)
+	}
+	scheme := quant.Fit(chip.WeightBits, w.MaxAbs())
+	slices := quant.CellsPerValue(chip.WeightBits, chip.BitsPerCell)
+	a := &Array{
+		chip:   chip,
+		rows:   w.Rows,
+		cols:   w.Cols,
+		cells:  make([][]uint8, slices),
+		sign:   make([]bool, w.Rows*w.Cols),
+		scheme: scheme,
+	}
+	for s := range a.cells {
+		a.cells[s] = make([]uint8, w.Rows*w.Cols)
+	}
+	for i, v := range w.Data {
+		q := scheme.QuantizeInt(v)
+		a.sign[i] = q < 0
+		for s, sl := range quant.Slices(q, chip.BitsPerCell, slices) {
+			a.cells[s][i] = sl
+		}
+	}
+	return a
+}
+
+// Rows and Cols report the programmed matrix shape.
+func (a *Array) Rows() int { return a.rows }
+
+// Cols reports the number of output columns.
+func (a *Array) Cols() int { return a.cols }
+
+// Scheme returns the weight quantisation scheme in use.
+func (a *Array) Scheme() quant.Scheme { return a.scheme }
+
+// MVMOptions tunes one analog multiply.
+type MVMOptions struct {
+	// ADCBits overrides the chip's ADC resolution (0 = chip default).
+	ADCBits int
+	// InputBits is the streamed input precision (0 = chip WeightBits).
+	InputBits int
+}
+
+// MVM computes xᵀ·W through the analog pipeline. len(x) must equal
+// Rows(). Returns the recombined dot products (length Cols()).
+func (a *Array) MVM(x []float64, opt MVMOptions) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("crossbar: input length %d, want %d rows", len(x), a.rows))
+	}
+	adcBits := opt.ADCBits
+	if adcBits == 0 {
+		adcBits = a.chip.ADCBits
+	}
+	inputBits := opt.InputBits
+	if inputBits == 0 {
+		inputBits = a.chip.WeightBits
+	}
+	if adcBits < 1 || inputBits < 2 {
+		panic(fmt.Sprintf("crossbar: bad precision adc=%d input=%d", adcBits, inputBits))
+	}
+
+	// Quantise the input and slice it for bit-serial streaming.
+	inScheme := quant.Fit(inputBits, maxAbs(x))
+	dacBits := a.chip.DACBits
+	inSlices := quant.CellsPerValue(inputBits, dacBits)
+	xs := make([][]uint8, inSlices)
+	xneg := make([]bool, a.rows)
+	for s := range xs {
+		xs[s] = make([]uint8, a.rows)
+	}
+	for r, v := range x {
+		q := inScheme.QuantizeInt(v)
+		xneg[r] = q < 0
+		for s, sl := range quant.Slices(q, dacBits, inSlices) {
+			xs[s][r] = sl
+		}
+	}
+
+	// The array is tiled into crossbars of CrossbarRows wordlines; each
+	// tile's bitline sum is digitised by the ADC — quantised against
+	// the tile's analog full scale — and tiles recombine digitally.
+	adcMax := float64(int64(1)<<adcBits - 1)
+	maxCell := float64(int64(1)<<a.chip.BitsPerCell - 1)
+	maxDac := float64(int64(1)<<a.chip.DACBits - 1)
+	tileRows := a.chip.CrossbarRows
+	fullScale := float64(tileRows) * maxCell * maxDac
+
+	adc := func(sum int64) float64 {
+		// Quantise the analog current to the ADC's code grid (and
+		// saturate past full scale).
+		v := float64(sum)
+		if v > fullScale {
+			v = fullScale
+		}
+		code := math.Round(v / fullScale * adcMax)
+		return code / adcMax * fullScale
+	}
+
+	out := make([]float64, a.cols)
+	// For every (input cycle, cell slice, row tile) triple, accumulate
+	// the bitline sums, digitise, and shift-and-add into the running
+	// total. The differential pair contributes ± according to weight
+	// sign; input sign folds in digitally.
+	for ic := 0; ic < inSlices; ic++ {
+		for ws := range a.cells {
+			shift := uint(ic*a.chip.DACBits + ws*a.chip.BitsPerCell)
+			scale := float64(int64(1) << shift)
+			for t0 := 0; t0 < a.rows; t0 += tileRows {
+				t1 := t0 + tileRows
+				if t1 > a.rows {
+					t1 = a.rows
+				}
+				for c := 0; c < a.cols; c++ {
+					var pos, neg int64
+					for r := t0; r < t1; r++ {
+						idx := r*a.cols + c
+						contrib := int64(xs[ic][r]) * int64(a.cells[ws][idx])
+						if a.sign[idx] != xneg[r] { // xor: one negative
+							neg += contrib
+						} else {
+							pos += contrib
+						}
+					}
+					out[c] += (adc(pos) - adc(neg)) * scale
+				}
+			}
+		}
+	}
+
+	// Undo both quantisation scales.
+	wStep := a.scheme.StepSize()
+	xStep := inScheme.StepSize()
+	for c := range out {
+		out[c] *= wStep * xStep
+	}
+	return out
+}
+
+// MVMBatch runs MVM for every row of xs (a batch×rows matrix) and
+// returns a batch×cols matrix.
+func (a *Array) MVMBatch(xs *tensor.Matrix, opt MVMOptions) *tensor.Matrix {
+	out := tensor.New(xs.Rows, a.cols)
+	for r := 0; r < xs.Rows; r++ {
+		out.SetRow(r, a.MVM(xs.Row(r), opt))
+	}
+	return out
+}
+
+// ReferenceMVM is the float64 ground truth xᵀ·W for error comparisons.
+func ReferenceMVM(w *tensor.Matrix, x []float64) []float64 {
+	if len(x) != w.Rows {
+		panic(fmt.Sprintf("crossbar: input length %d, want %d rows", len(x), w.Rows))
+	}
+	out := make([]float64, w.Cols)
+	for r, v := range x {
+		row := w.Row(r)
+		for c, wv := range row {
+			out[c] += v * wv
+		}
+	}
+	return out
+}
+
+// RelativeError returns ‖got − want‖₂ / ‖want‖₂ (0 when both are 0).
+func RelativeError(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("crossbar: length mismatch %d vs %d", len(got), len(want)))
+	}
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

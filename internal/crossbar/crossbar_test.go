@@ -1,0 +1,194 @@
+package crossbar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/reram"
+	"gopim/internal/tensor"
+)
+
+// wideADC returns the Table II chip with an ADC wide enough to
+// digitise any 64-row tile sum exactly, isolating quantisation of the
+// operands from ADC effects.
+func wideADC() reram.Chip {
+	c := reram.DefaultChip()
+	c.ADCBits = 20
+	return c
+}
+
+func TestSmallIntegerWeights(t *testing.T) {
+	// Small integer weights and inputs land within one 16-bit
+	// quantisation step of the exact products.
+	chip := wideADC()
+	w := tensor.NewFromRows([][]float64{
+		{1, -2, 3},
+		{0, 4, -1},
+	})
+	a := Program(chip, w)
+	if a.Rows() != 2 || a.Cols() != 3 {
+		t.Fatalf("array shape %dx%d", a.Rows(), a.Cols())
+	}
+	got := a.MVM([]float64{2, -1}, MVMOptions{})
+	want := ReferenceMVM(w, []float64{2, -1}) // {2, -8, 7}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-3*(1+math.Abs(want[i])) {
+			t.Fatalf("MVM = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: with a wide ADC, the analog MVM matches the float
+// reference within the two operands' propagated quantisation error.
+// The bound is absolute — a dot product near zero has an unbounded
+// *relative* error from the same tiny absolute wobble.
+func TestMatchesReferenceWithinQuantError(t *testing.T) {
+	chip := wideADC()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(96), 1+rng.Intn(8)
+		w := tensor.NewRandom(rng, rows, cols, 1)
+		x := make([]float64, rows)
+		var xnorm float64
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			xnorm += math.Abs(x[i])
+		}
+		a := Program(chip, w)
+		got := a.MVM(x, MVMOptions{})
+		want := ReferenceMVM(w, x)
+		// Per-output error bound: each of the `rows` products carries
+		// at most wStep·|x| + xStep·|w| ≤ wStep + xStep of rounding.
+		step := a.Scheme().StepSize() + 1.0/32767
+		bound := (xnorm + float64(rows)) * step
+		for c := range got {
+			if math.Abs(got[c]-want[c]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The chip's 8-bit ADC introduces measurable but bounded error; a
+// 4-bit ADC is much worse. This is the precision cliff NeuroSim-class
+// simulators characterise.
+func TestADCResolutionCliff(t *testing.T) {
+	chip := reram.DefaultChip()
+	rng := rand.New(rand.NewSource(7))
+	w := tensor.NewRandom(rng, 128, 16, 1)
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	a := Program(chip, w)
+	want := ReferenceMVM(w, x)
+
+	err8 := RelativeError(a.MVM(x, MVMOptions{ADCBits: 8}), want)
+	err4 := RelativeError(a.MVM(x, MVMOptions{ADCBits: 4}), want)
+	err16 := RelativeError(a.MVM(x, MVMOptions{ADCBits: 16}), want)
+
+	if err16 > 2e-3 {
+		t.Fatalf("16-bit ADC error = %v, want near-exact", err16)
+	}
+	if err8 > 0.2 {
+		t.Fatalf("8-bit ADC error = %v, want usable (<20%%)", err8)
+	}
+	if err4 <= err8 {
+		t.Fatalf("4-bit ADC (%v) must be worse than 8-bit (%v)", err4, err8)
+	}
+}
+
+func TestMVMBatch(t *testing.T) {
+	chip := wideADC()
+	rng := rand.New(rand.NewSource(3))
+	w := tensor.NewRandom(rng, 10, 4, 1)
+	xs := tensor.NewRandom(rng, 5, 10, 1)
+	a := Program(chip, w)
+	got := a.MVMBatch(xs, MVMOptions{})
+	want := tensor.MatMul(xs, w)
+	if RelativeError(got.Data, want.Data) > 2e-3 {
+		t.Fatalf("batch MVM error too large")
+	}
+}
+
+func TestNegativeInputsAndWeights(t *testing.T) {
+	chip := wideADC()
+	w := tensor.NewFromRows([][]float64{{-3}, {-5}})
+	a := Program(chip, w)
+	got := a.MVM([]float64{-2, 4}, MVMOptions{})
+	// (-2)(-3) + (4)(-5) = 6 - 20 = -14, within quantisation error.
+	if math.Abs(got[0]+14) > 0.01 {
+		t.Fatalf("MVM = %v, want ≈ -14", got[0])
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	chip := wideADC()
+	a := Program(chip, tensor.New(4, 4))
+	got := a.MVM([]float64{1, 2, 3, 4}, MVMOptions{})
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("zero matrix must produce zero output: %v", got)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	chip := wideADC()
+	a := Program(chip, tensor.New(2, 2))
+	for _, f := range []func(){
+		func() { a.MVM([]float64{1}, MVMOptions{}) },
+		func() { a.MVM([]float64{1, 2}, MVMOptions{ADCBits: -1}) },
+		func() { a.MVM([]float64{1, 2}, MVMOptions{InputBits: 1}) },
+		func() { ReferenceMVM(tensor.New(2, 2), []float64{1}) },
+		func() { RelativeError([]float64{1}, []float64{1, 2}) },
+		func() {
+			bad := chip
+			bad.Tiles = 0
+			Program(bad, tensor.New(1, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError([]float64{0}, []float64{0}) != 0 {
+		t.Fatal("0/0 error should be 0")
+	}
+	if !math.IsInf(RelativeError([]float64{1}, []float64{0}), 1) {
+		t.Fatal("nonzero vs zero should be +Inf")
+	}
+	if got := RelativeError([]float64{3, 4}, []float64{0, 5}); math.Abs(got-math.Sqrt(10)/5) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+}
+
+func BenchmarkMVM128(b *testing.B) {
+	chip := reram.DefaultChip()
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.NewRandom(rng, 128, 64, 1)
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	a := Program(chip, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MVM(x, MVMOptions{})
+	}
+}

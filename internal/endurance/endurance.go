@@ -1,0 +1,105 @@
+// Package endurance models ReRAM cell wear-out. Paper §IV-A motivates
+// the SRAM weight manager with endurance: ReRAM cells survive ~10⁸
+// writes against SRAM's 10¹⁶, so frequently rewritten state must not
+// live in the array. The same argument applies to aggregation-stage
+// vertex rows — the rows GoPIM's selective updating rewrites every
+// epoch — so ISU not only saves time and energy but also extends the
+// array's usable lifetime. This package quantifies that.
+package endurance
+
+import (
+	"fmt"
+	"math"
+
+	"gopim/internal/mapping"
+)
+
+// ReRAMWriteLimit is the per-cell write endurance of ReRAM (paper
+// §IV-A: 10⁸).
+const ReRAMWriteLimit = 1e8
+
+// SRAMWriteLimit is the corresponding SRAM figure (10¹⁶).
+const SRAMWriteLimit = 1e16
+
+// Profile describes the write load of one training configuration.
+type Profile struct {
+	// WritesPerVertexPerEpoch is how many times an important vertex's
+	// row is rewritten each epoch (1 in the epoch-granular model).
+	WritesPerVertexPerEpoch float64
+	// EpochsPerRun is the length of one training run.
+	EpochsPerRun int
+	// RunsPerDay is the training throughput the array sustains.
+	RunsPerDay float64
+}
+
+// Validate reports a descriptive error for nonsensical profiles.
+func (p Profile) Validate() error {
+	switch {
+	case p.WritesPerVertexPerEpoch <= 0:
+		return fmt.Errorf("endurance: writes/vertex/epoch %v must be positive", p.WritesPerVertexPerEpoch)
+	case p.EpochsPerRun < 1:
+		return fmt.Errorf("endurance: epochs %d must be ≥ 1", p.EpochsPerRun)
+	case p.RunsPerDay <= 0:
+		return fmt.Errorf("endurance: runs/day %v must be positive", p.RunsPerDay)
+	}
+	return nil
+}
+
+// CellWritesPerEpoch returns, for a vertex updated with the given
+// per-epoch frequency, the writes one of its cells absorbs per epoch.
+func CellWritesPerEpoch(p Profile, updateFraction float64) float64 {
+	if updateFraction < 0 || updateFraction > 1 {
+		panic(fmt.Sprintf("endurance: update fraction %v out of [0,1]", updateFraction))
+	}
+	return p.WritesPerVertexPerEpoch * updateFraction
+}
+
+// LifetimeDays returns how many days the most-written cell class lasts
+// under the profile: limit / (writes per epoch × epochs × runs).
+func LifetimeDays(p Profile, updateFraction, writeLimit float64) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if writeLimit <= 0 {
+		panic(fmt.Sprintf("endurance: write limit %v must be positive", writeLimit))
+	}
+	perEpoch := CellWritesPerEpoch(p, updateFraction)
+	perDay := perEpoch * float64(p.EpochsPerRun) * p.RunsPerDay
+	if perDay == 0 {
+		return math.Inf(1)
+	}
+	return writeLimit / perDay
+}
+
+// Report compares array lifetime under full updating vs a selective
+// plan.
+type Report struct {
+	// FullDays is the lifetime with every row rewritten every epoch.
+	FullDays float64
+	// ImportantDays is the lifetime of the hottest (important, every
+	// epoch) rows under the plan — identical to FullDays since those
+	// rows still rewrite every epoch.
+	ImportantDays float64
+	// UnimportantDays is the lifetime of the cold rows, refreshed every
+	// StalePeriod epochs.
+	UnimportantDays float64
+	// WearRatio is mean write traffic under the plan relative to full
+	// updating — the array-average wear reduction ISU buys.
+	WearRatio float64
+}
+
+// Compare evaluates a selective-updating plan's endurance effect.
+func Compare(p Profile, plan *mapping.UpdatePlan) Report {
+	full := LifetimeDays(p, 1, ReRAMWriteLimit)
+	return Report{
+		FullDays:        full,
+		ImportantDays:   LifetimeDays(p, 1, ReRAMWriteLimit),
+		UnimportantDays: LifetimeDays(p, 1/float64(plan.StalePeriod), ReRAMWriteLimit),
+		WearRatio:       plan.AvgUpdateFraction(),
+	}
+}
+
+// SRAMAdvantage returns how many times longer SRAM outlasts ReRAM at
+// identical write traffic — the paper's 10¹⁶/10⁸ = 10⁸ argument for
+// the weight manager.
+func SRAMAdvantage() float64 { return SRAMWriteLimit / ReRAMWriteLimit }

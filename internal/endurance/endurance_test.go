@@ -1,0 +1,93 @@
+package endurance
+
+import (
+	"math"
+	"testing"
+
+	"gopim/internal/mapping"
+)
+
+func profile() Profile {
+	return Profile{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: 100}
+}
+
+func TestValidate(t *testing.T) {
+	if err := profile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{WritesPerVertexPerEpoch: 0, EpochsPerRun: 1, RunsPerDay: 1},
+		{WritesPerVertexPerEpoch: 1, EpochsPerRun: 0, RunsPerDay: 1},
+		{WritesPerVertexPerEpoch: 1, EpochsPerRun: 1, RunsPerDay: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLifetimeArithmetic(t *testing.T) {
+	p := profile()
+	// 1 write/epoch × 200 epochs × 100 runs = 20 000 writes/day;
+	// 10⁸ / 2·10⁴ = 5 000 days.
+	got := LifetimeDays(p, 1, ReRAMWriteLimit)
+	if math.Abs(got-5000) > 1e-9 {
+		t.Fatalf("LifetimeDays = %v, want 5000", got)
+	}
+	// Cold rows at 1/20 update frequency last 20× longer.
+	cold := LifetimeDays(p, 1.0/20, ReRAMWriteLimit)
+	if math.Abs(cold-100_000) > 1e-6 {
+		t.Fatalf("cold lifetime = %v, want 100000", cold)
+	}
+	// Zero update fraction → unwritten cells live forever.
+	if !math.IsInf(LifetimeDays(p, 0, ReRAMWriteLimit), 1) {
+		t.Fatal("unwritten cells must never wear out")
+	}
+}
+
+func TestLifetimePanics(t *testing.T) {
+	p := profile()
+	for _, f := range []func(){
+		func() { LifetimeDays(p, -0.1, ReRAMWriteLimit) },
+		func() { LifetimeDays(p, 1.1, ReRAMWriteLimit) },
+		func() { LifetimeDays(p, 0.5, 0) },
+		func() { LifetimeDays(Profile{}, 0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompareISUPlan(t *testing.T) {
+	degs := []float64{100, 90, 80, 70, 4, 3, 2, 1}
+	plan := mapping.NewUpdatePlan(degs, 0.5, 20)
+	rep := Compare(profile(), plan)
+
+	if rep.ImportantDays != rep.FullDays {
+		t.Fatal("important rows wear like full updating")
+	}
+	if rep.UnimportantDays <= rep.FullDays {
+		t.Fatal("cold rows must outlast hot rows")
+	}
+	if math.Abs(rep.UnimportantDays/rep.FullDays-20) > 1e-9 {
+		t.Fatalf("cold rows should last StalePeriod× longer: %v vs %v",
+			rep.UnimportantDays, rep.FullDays)
+	}
+	// θ=0.5, period 20 → mean wear 0.525 of full updating.
+	if math.Abs(rep.WearRatio-0.525) > 1e-12 {
+		t.Fatalf("wear ratio = %v, want 0.525", rep.WearRatio)
+	}
+}
+
+func TestSRAMAdvantage(t *testing.T) {
+	if got := SRAMAdvantage(); got != 1e8 {
+		t.Fatalf("SRAM advantage = %v, want 1e8 (paper §IV-A)", got)
+	}
+}

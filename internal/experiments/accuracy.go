@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gopim/internal/accel"
+	"gopim/internal/gcn"
+	"gopim/internal/graphgen"
+	"gopim/internal/mapping"
+)
+
+func init() {
+	register("tab5", tab5)
+	register("fig16", fig16)
+	register("fig17", fig17)
+	register("cora", cora)
+}
+
+// trainSize bounds the explicit-graph instances for GCN training runs.
+func trainSize(opt Options) (vertices, epochs int) {
+	if opt.Fast {
+		return 300, 15
+	}
+	return 900, 40
+}
+
+// trainPair runs vanilla and ISU training on one dataset and returns
+// both results. The stale period scales with the (shortened) training
+// runs so that non-important rows refresh a handful of times per run,
+// as the paper's 20-epoch period does over full-length training.
+func trainPair(opt Options, d graphgen.Dataset, theta float64) (vanilla, isu gcn.Result) {
+	maxV, epochs := trainSize(opt)
+	inst := d.Synthesize(opt.Seed+int64(len(d.Name)), maxV)
+	degs := make([]float64, inst.Graph.N)
+	for v := range degs {
+		degs[v] = float64(inst.Graph.Degree(v))
+	}
+	stale := epochs / 5
+	if stale < 3 {
+		stale = 3
+	}
+	cfg := gcn.Config{Epochs: epochs, Seed: opt.Seed, LR: 0.005, Dropout: 0}
+	vanilla = gcn.Train(inst, cfg)
+	cfg.Plan = mapping.NewUpdatePlan(degs, theta, stale)
+	isu = gcn.Train(inst, cfg)
+	return vanilla, isu
+}
+
+// tab5 reproduces the accuracy impact of ISU per dataset.
+func tab5(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "tab5",
+		Title:  "Accuracy impact of GoPIM's ISU vs GoPIM-Vanilla",
+		Paper:  "ddi +4.01, collab −0.65, ppa +1.07, proteins +1.62, arxiv −0.2 points; losses below 1% are acceptable",
+		Header: []string{"dataset", "GoPIM-Vanilla", "GoPIM (ISU)", "impact", "rows updated/epoch"},
+	}
+	for _, d := range evalDatasets(opt) {
+		vanilla, isu := trainPair(opt, d, d.AdaptiveTheta())
+		res.Rows = append(res.Rows, []string{
+			d.Name,
+			fmtPct(vanilla.Accuracy),
+			fmtPct(isu.Accuracy),
+			fmt.Sprintf("%+.2f pts", (isu.Accuracy-vanilla.Accuracy)*100),
+			fmtPct(isu.UpdatedRowFraction),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"Synthetic community-labelled graphs: the claim under test is that degree-ranked selective updating stays within a few points of exact training while skipping ~half the row updates.")
+	return res, nil
+}
+
+// fig16 reproduces the sensitivity study: accuracy vs θ on dense ddi
+// (a) and sparse Cora (b), and speedup vs micro-batch size (c).
+func fig16(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "fig16",
+		Title:  "Sensitivity: accuracy vs θ (dense ddi / sparse Cora) and speedup vs micro-batch size",
+		Paper:  "θ=50% suffices for dense ddi, sparse Cora needs θ=80%; speedup grows with micro-batch size",
+		Header: []string{"variant", "setting", "value"},
+	}
+	thetas := []float64{0.2, 0.4, 0.5, 0.8, 1.0}
+	if opt.Fast {
+		thetas = []float64{0.2, 0.5, 0.8}
+	}
+	for _, name := range []string{"ddi", "Cora"} {
+		d, err := graphgen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		label := "(a) ddi acc"
+		if name == "Cora" {
+			label = "(b) Cora acc"
+		}
+		for _, theta := range thetas {
+			_, isu := trainPair(opt, d, theta)
+			res.Rows = append(res.Rows, []string{
+				label, fmt.Sprintf("θ=%.0f%%", theta*100), fmtPct(isu.Accuracy),
+			})
+		}
+	}
+
+	d, err := graphgen.ByName("ddi")
+	if err != nil {
+		return nil, err
+	}
+	mbs := []int{16, 32, 64, 128, 256}
+	if opt.Fast {
+		mbs = []int{32, 64, 128}
+	}
+	for _, mb := range mbs {
+		w := accel.Workload{Dataset: d, Seed: opt.Seed, MicroBatch: mb}
+		sp := accel.Speedup(accel.Run(accel.Serial, w), accel.Run(accel.GoPIM, w))
+		res.Rows = append(res.Rows, []string{
+			"(c) speedup", fmt.Sprintf("mb=%d", mb), fmtX(sp),
+		})
+	}
+	return res, nil
+}
+
+// fig17 reproduces the scalability study: (a) speedup vs vertex
+// feature dimension, (b) the products dataset.
+func fig17(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "fig17",
+		Title:  "Scalability: speedup vs feature dimension (a) and the products dataset (b)",
+		Paper:  "speedups persist but taper as dimensions grow 256→2048; products: 5.9x speedup, 1.8x energy saving vs Serial",
+		Header: []string{"variant", "setting", "speedup", "energy saving"},
+	}
+	ddi, err := graphgen.ByName("ddi")
+	if err != nil {
+		return nil, err
+	}
+	dims := []int{256, 512, 1024, 2048}
+	if opt.Fast {
+		dims = []int{256, 1024}
+	}
+	for _, dim := range dims {
+		d := ddi
+		d.FeatureDim = dim
+		d.InputCh = dim
+		d.HiddenCh = dim
+		d.OutputCh = dim
+		w := accel.Workload{Dataset: d, Seed: opt.Seed}
+		serial := accel.Run(accel.Serial, w)
+		g := accel.Run(accel.GoPIM, w)
+		res.Rows = append(res.Rows, []string{
+			"(a) feature dim", fmt.Sprintf("%d", dim),
+			fmtX(accel.Speedup(serial, g)),
+			fmtX(accel.EnergySaving(serial, g)),
+		})
+	}
+
+	products, err := graphgen.ByName("products")
+	if err != nil {
+		return nil, err
+	}
+	if opt.Fast {
+		products.PaperVertices = 100_000
+	}
+	w := accel.Workload{Dataset: products, Seed: opt.Seed}
+	serial := accel.Run(accel.Serial, w)
+	g := accel.Run(accel.GoPIM, w)
+	res.Rows = append(res.Rows, []string{
+		"(b) products", fmt.Sprintf("%d vertices", products.PaperVertices),
+		fmtX(accel.Speedup(serial, g)),
+		fmtX(accel.EnergySaving(serial, g)),
+	})
+	res.Notes = append(res.Notes,
+		"Larger feature dimensions need more crossbars per replica, shrinking the allocation head-room — the paper's tapering argument.")
+	return res, nil
+}
+
+// cora reproduces the sparse-dataset study of §VII-F.
+func cora(opt Options) (*Result, error) {
+	d, err := graphgen.ByName("Cora")
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "cora",
+		Title:  "Sparse dataset (Cora, θ=80%): speedups, energy, accuracy",
+		Paper:  "3460.5x/1.30x/1.26x/1.27x speedups vs Serial/SlimGNN-like/ReGraphX/ReFlip; energy savings 8%/3.8%/3.8%/19.5%; accuracy loss 0.28%",
+		Header: []string{"baseline", "GoPIM speedup", "GoPIM energy saving"},
+	}
+	w := accel.Workload{Dataset: d, Seed: opt.Seed}
+	g := accel.Run(accel.GoPIM, w)
+	for _, k := range []accel.Kind{accel.Serial, accel.SlimGNNLike, accel.ReGraphX, accel.ReFlip} {
+		r := accel.Run(k, w)
+		res.Rows = append(res.Rows, []string{
+			k.String(),
+			fmtX(accel.Speedup(r, g)),
+			fmtPct(1 - g.EnergyPJ()/r.EnergyPJ()),
+		})
+	}
+	vanilla, isu := trainPair(opt, d, 0.8)
+	res.Rows = append(res.Rows, []string{
+		"accuracy impact",
+		fmt.Sprintf("%+.2f pts", (isu.Accuracy-vanilla.Accuracy)*100),
+		"",
+	})
+	res.Notes = append(res.Notes,
+		"Sparse graphs leave fewer vertices to drop (θ=0.8), so GoPIM's margin shrinks but the ordering holds.")
+	return res, nil
+}

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§VII). Each experiment is a registered harness
+// that runs the relevant workloads through the simulator (or the GCN
+// training engine) and renders the same rows/series the paper reports,
+// annotated with the paper's own numbers for side-by-side comparison.
+//
+// Absolute values differ from the paper (our substrate is an analytic
+// reimplementation, not the authors' NeuroSim testbed); the shapes —
+// who wins, by roughly what factor, where crossovers fall — are the
+// reproduction target. See EXPERIMENTS.md for the recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives all synthetic graph generation.
+	Seed int64
+	// Fast shrinks workloads for smoke tests and benchmarks: smaller
+	// graphs, fewer epochs, fewer sweep points. Headline shapes are
+	// preserved.
+	Fast bool
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	// Paper summarises what the paper reports for this artifact.
+	Paper  string
+	Header []string
+	Rows   [][]string
+	// Notes records deviations and modelling caveats.
+	Notes []string
+}
+
+// Render writes the result as an aligned text table.
+func (r *Result) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Runner regenerates one paper artifact.
+type Runner func(Options) (*Result, error)
+
+var registry = map[string]Runner{}
+
+// register adds a harness; experiment files call it from init.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = r
+}
+
+// IDs lists registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(opt)
+}
+
+// fmtX formats a speedup/ratio like the paper ("12.3x").
+func fmtX(v float64) string { return fmt.Sprintf("%.1fx", v) }
+
+// fmtPct formats a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }

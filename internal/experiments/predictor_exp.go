@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gopim/internal/accel"
+	"gopim/internal/graphgen"
+	"gopim/internal/predictor"
+	"gopim/internal/reram"
+	"gopim/internal/stage"
+)
+
+func init() {
+	register("fig9", fig9)
+}
+
+// profileSpec builds the predictor's profile-generation sweep. The
+// full-mode sweep is sized to the paper's ~2 200-sample profile corpus
+// (§V-A); Fast mode shrinks it further for smoke runs.
+func profileSpec(opt Options) predictor.ProfileSpec {
+	spec := predictor.ProfileSpec{
+		Seed:         opt.Seed,
+		Scales:       []float64{0.2, 1.0},
+		HiddenWidths: []int{64, 128, 256},
+		MicroBatches: []int{16, 32, 64, 128},
+		MaxVertices:  150_000,
+	}
+	if opt.Fast {
+		spec.Datasets = fastDatasets("ddi", "collab", "Cora")
+		spec.Scales = []float64{0.2, 1}
+		spec.HiddenWidths = []int{64, 256}
+		spec.MicroBatches = []int{32, 64}
+		spec.MaxVertices = 20_000
+	}
+	return spec
+}
+
+func fastDatasets(names ...string) []graphgen.Dataset {
+	out := make([]graphgen.Dataset, 0, len(names))
+	for _, n := range names {
+		d, err := graphgen.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// fig9 reproduces the predictor bake-off: (a) RMSE across model
+// families, (b) RMSE vs MLP depth, (c) RMSE vs hidden width.
+func fig9(opt Options) (*Result, error) {
+	samples := predictor.Generate(profileSpec(opt))
+	train, test := predictor.SplitTrainTest(samples, 0.2)
+
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Execution-time predictor comparison (RMSE, normalised log-time)",
+		Paper:  "MLP beats XGB/SVR/DT/LR/BR; 3 layers best; 256 hidden neurons best; RMSE ≈ 0.0022",
+		Header: []string{"variant", "model", "RMSE"},
+	}
+
+	// (a) model families.
+	for _, m := range predictor.Fig9Models() {
+		rmse := predictor.ModelRMSE(m.New, train, test)
+		res.Rows = append(res.Rows, []string{"(a) family", m.Name, fmtF(rmse)})
+	}
+
+	// (b) MLP depth sweep 2–6 total layers.
+	depths := []int{2, 3, 4, 5, 6}
+	if opt.Fast {
+		depths = []int{2, 3, 4}
+	}
+	for _, depth := range depths {
+		d := depth
+		rmse := predictor.ModelRMSE(func() predictor.Regressor {
+			return predictor.MLPWithDepth(d)
+		}, train, test)
+		res.Rows = append(res.Rows, []string{"(b) depth", fmt.Sprintf("%d layers", d), fmtF(rmse)})
+	}
+
+	// (c) hidden width sweep for the 3-layer MLP.
+	widths := []int{32, 64, 128, 256, 512, 1024}
+	if opt.Fast {
+		widths = []int{32, 256}
+	}
+	for _, width := range widths {
+		w := width
+		rmse := predictor.ModelRMSE(func() predictor.Regressor {
+			return predictor.MLPWithWidth(w)
+		}, train, test)
+		res.Rows = append(res.Rows, []string{"(c) width", fmt.Sprintf("%d neurons", w), fmtF(rmse)})
+	}
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("profile dataset: %d samples (train %d / test %d), 8:2 split as in the paper", len(samples), len(train), len(test)),
+		"RMSE is measured on min-max-normalised log stage times; stage latencies span four orders of magnitude.")
+	return res, nil
+}
+
+// sharedPredictors caches one trained time predictor per mode so that
+// tab7 and the CLI's "all" run don't retrain repeatedly.
+var sharedPredictors = map[bool]*predictor.TimePredictor{}
+
+// trainSharedPredictor trains (or reuses) the MLP time predictor on
+// the profile sweep.
+func trainSharedPredictor(opt Options) *predictor.TimePredictor {
+	if p, ok := sharedPredictors[opt.Fast]; ok {
+		return p
+	}
+	p := predictor.NewTimePredictor()
+	p.Train(predictor.Generate(profileSpec(opt)))
+	sharedPredictors[opt.Fast] = p
+	return p
+}
+
+// predictTimesFor produces the predictor's stage-time estimates for an
+// accelerator workload (full-update stage structure, as profiled).
+func predictTimesFor(p *predictor.TimePredictor, w accel.Workload) []float64 {
+	mb := w.MicroBatch
+	if mb == 0 {
+		mb = 64
+	}
+	deg := w.Deg
+	if deg == nil {
+		deg = w.Dataset.SynthDegreeModel(w.Seed)
+	}
+	return p.PredictTimes(stage.Config{
+		Chip:       reram.DefaultChip(),
+		Dataset:    w.Dataset,
+		Deg:        deg,
+		MicroBatch: mb,
+	})
+}

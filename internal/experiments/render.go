@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the result as CSV: a comment line with the title
+// and paper claim, then header and rows.
+func (r *Result) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.Paper != "" {
+		if _, err := fmt.Fprintf(w, "# paper: %s\n", r.Paper); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the result as a GitHub-flavoured markdown
+// table with the paper claim and notes as surrounding prose.
+func (r *Result) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "*Paper:* %s\n\n", r.Paper)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		padded := make([]string, len(r.Header))
+		copy(padded, row)
+		writeRow(padded)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Format names an output format for RenderAs.
+type Format string
+
+// Supported output formats.
+const (
+	FormatText     Format = "text"
+	FormatCSV      Format = "csv"
+	FormatMarkdown Format = "markdown"
+)
+
+// RenderAs dispatches on the format name.
+func (r *Result) RenderAs(w io.Writer, f Format) error {
+	switch f {
+	case FormatText, "":
+		return r.Render(w)
+	case FormatCSV:
+		return r.RenderCSV(w)
+	case FormatMarkdown, "md":
+		return r.RenderMarkdown(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (text, csv, markdown)", f)
+	}
+}

@@ -1,0 +1,23 @@
+package gcn
+
+import (
+	"testing"
+
+	"gopim/internal/graphgen"
+)
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	d, err := graphgen.ByName("arxiv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.HiddenCh = 64
+	d.FeatureDim = 32
+	d.NumClasses = 8
+	d.Layers = 2
+	inst := d.Synthesize(1, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(inst, Config{Epochs: 1, Seed: 1, LR: 0.01})
+	}
+}

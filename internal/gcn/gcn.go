@@ -1,0 +1,292 @@
+// Package gcn implements full GCN training in software — forward and
+// backward passes over Combination (H·W) and Aggregation (Â·C) stages
+// with ReLU activations — plus the ISU staleness semantics of GoPIM's
+// selective vertex updating: the feature rows aggregation reads for
+// non-important vertices come from a stale snapshot that refreshes
+// every StalePeriod epochs, exactly as rows left unwritten on a ReRAM
+// crossbar would (paper §VI).
+//
+// The package produces the accuracy numbers of paper Table V and the
+// θ-sensitivity curves of Fig. 16(a)/(b). Node-classification tasks
+// use softmax cross-entropy; link-prediction tasks score vertex pairs
+// by embedding dot products with logistic loss.
+package gcn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gopim/internal/graphgen"
+	"gopim/internal/mapping"
+	"gopim/internal/quant"
+	"gopim/internal/sparsemat"
+	"gopim/internal/tensor"
+)
+
+// Config controls one training run.
+type Config struct {
+	Epochs int
+	// LR defaults to the dataset's Table IV learning rate when 0.
+	LR float64
+	// Dropout is the hidden-activation drop probability (Table IV);
+	// negative means "use the dataset's value".
+	Dropout float64
+	Seed    int64
+	// Plan enables ISU: non-important vertices' combined features are
+	// served stale between refresh epochs. Nil trains exactly
+	// (GoPIM-Vanilla).
+	Plan *mapping.UpdatePlan
+	// QuantBits, when ≥ 2, quantises everything the crossbars store —
+	// weights after every gradient step and combined feature rows when
+	// written — to the given fixed-point width (Table II: 16).
+	// 0 trains in full float64.
+	QuantBits int
+}
+
+// Result reports a training run.
+type Result struct {
+	// Accuracy is test accuracy for node tasks and the paired
+	// ranking accuracy (pos > neg) for link tasks.
+	Accuracy float64
+	// TrainLoss per epoch.
+	TrainLoss []float64
+	// UpdatedRowFraction is the mean fraction of vertex rows rewritten
+	// per epoch (1.0 without a plan) — the write-traffic reduction ISU
+	// buys.
+	UpdatedRowFraction float64
+}
+
+// Model is a trained GCN: one weight matrix per layer.
+type Model struct {
+	Weights []*tensor.Matrix
+	// Embeddings is the final-layer output for every vertex.
+	Embeddings *tensor.Matrix
+}
+
+// adamState is a minimal Adam optimiser for a set of weight matrices.
+type adamState struct {
+	lr   float64
+	t    int
+	m, v []*tensor.Matrix
+}
+
+func newAdam(lr float64, ws []*tensor.Matrix) *adamState {
+	s := &adamState{lr: lr}
+	for _, w := range ws {
+		s.m = append(s.m, tensor.New(w.Rows, w.Cols))
+		s.v = append(s.v, tensor.New(w.Rows, w.Cols))
+	}
+	return s
+}
+
+func (s *adamState) step(ws, grads []*tensor.Matrix) {
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	s.t++
+	c1 := 1 - math.Pow(b1, float64(s.t))
+	c2 := 1 - math.Pow(b2, float64(s.t))
+	for i, w := range ws {
+		g := grads[i]
+		for j := range w.Data {
+			s.m[i].Data[j] = b1*s.m[i].Data[j] + (1-b1)*g.Data[j]
+			s.v[i].Data[j] = b2*s.v[i].Data[j] + (1-b2)*g.Data[j]*g.Data[j]
+			w.Data[j] -= s.lr * (s.m[i].Data[j] / c1) / (math.Sqrt(s.v[i].Data[j]/c2) + eps)
+		}
+	}
+}
+
+// Train runs GCN training on a synthetic instance and returns the
+// final test metric.
+func Train(inst *graphgen.Instance, cfg Config) Result {
+	if cfg.Epochs < 1 {
+		panic(fmt.Sprintf("gcn: epochs %d must be ≥ 1", cfg.Epochs))
+	}
+	d := inst.Dataset
+	lr := cfg.LR
+	if lr == 0 {
+		lr = d.LearningRate
+	}
+	dropout := cfg.Dropout
+	if dropout < 0 {
+		dropout = d.Dropout
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	adj := inst.Graph.Adj().SymNormalized()
+
+	// Layer dims: input → hidden… → output. Node tasks map the final
+	// layer onto the class count.
+	dims := []int{inst.Features.Cols}
+	for l := 1; l <= d.Layers; l++ {
+		w := d.HiddenCh
+		if l == d.Layers {
+			if d.Task == graphgen.NodeClassification {
+				w = d.NumClasses
+			} else {
+				w = d.OutputCh
+			}
+		}
+		dims = append(dims, w)
+	}
+	weights := make([]*tensor.Matrix, d.Layers)
+	for l := range weights {
+		weights[l] = tensor.NewGlorot(rng, dims[l], dims[l+1])
+	}
+	opt := newAdam(lr, weights)
+
+	// written[l] is the combined feature matrix as present on the
+	// layer's aggregation crossbars; rows refresh per the plan.
+	written := make([]*tensor.Matrix, d.Layers)
+
+	var losses []float64
+	var updatedRows, totalRows float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.QuantBits >= 2 {
+			// ReRAM write-time quantisation: the crossbars only ever
+			// hold fixed-point weights.
+			for _, w := range weights {
+				quant.QuantizeMatrix(w, cfg.QuantBits)
+			}
+		}
+		fw := forwardQuant(adj, inst.Features, weights, written, cfg.Plan, epoch, dropout, rng, cfg.QuantBits)
+		updatedRows += fw.updatedFrac
+		totalRows++
+
+		var loss float64
+		var dOut *tensor.Matrix
+		switch d.Task {
+		case graphgen.NodeClassification:
+			loss, dOut = nodeLossGrad(fw.out, inst.Labels, inst.TrainMask)
+		case graphgen.LinkPrediction:
+			loss, dOut = linkLossGrad(rng, fw.out, inst.Graph)
+		}
+		losses = append(losses, loss)
+		grads := backward(adj, fw, weights, dOut)
+		opt.step(weights, grads)
+	}
+
+	final := forwardQuant(adj, inst.Features, weights, written, nil, 0, 0, rng, cfg.QuantBits)
+	res := Result{TrainLoss: losses, UpdatedRowFraction: updatedRows / totalRows}
+	switch d.Task {
+	case graphgen.NodeClassification:
+		res.Accuracy = nodeAccuracy(final.out, inst.Labels, inst.TestMask)
+	case graphgen.LinkPrediction:
+		res.Accuracy = linkAccuracy(final.out, inst.PosEdges, inst.NegEdges)
+	}
+	return res
+}
+
+// forwardState caches one forward pass for backprop.
+type forwardState struct {
+	// inputs[l] is the input feature matrix of layer l (H_{l-1}).
+	inputs []*tensor.Matrix
+	// combined[l] is C_l = H_{l-1}·W_l as used by aggregation (possibly
+	// partially stale under ISU).
+	combined []*tensor.Matrix
+	// aggregated[l] is Â·C_l before the nonlinearity.
+	aggregated []*tensor.Matrix
+	// masks[l] is the ReLU/dropout mask applied after layer l (nil for
+	// the last layer).
+	masks []*tensor.Matrix
+	out   *tensor.Matrix
+	// updatedFrac is the fraction of combined-feature rows rewritten
+	// this epoch, averaged over layers.
+	updatedFrac float64
+}
+
+func forward(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix,
+	written []*tensor.Matrix, plan *mapping.UpdatePlan, epoch int,
+	dropout float64, rng *rand.Rand) *forwardState {
+	return forwardQuant(adj, x, weights, written, plan, epoch, dropout, rng, 0)
+}
+
+func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix,
+	written []*tensor.Matrix, plan *mapping.UpdatePlan, epoch int,
+	dropout float64, rng *rand.Rand, quantBits int) *forwardState {
+
+	fw := &forwardState{}
+	h := x
+	layers := len(weights)
+	var updSum float64
+	for l := 0; l < layers; l++ {
+		fw.inputs = append(fw.inputs, h)
+		c := tensor.MatMul(h, weights[l])
+		if quantBits >= 2 {
+			// Feature rows are quantised as they are written to the
+			// aggregation crossbars.
+			quant.QuantizeMatrix(c, quantBits)
+		}
+
+		if plan != nil {
+			// ISU: copy fresh rows for vertices due this epoch; stale
+			// rows stay as last written.
+			if written[l] == nil {
+				written[l] = c.Clone() // first epoch writes everything
+				updSum++
+			} else {
+				updated := 0
+				for v := 0; v < c.Rows; v++ {
+					if plan.UpdatedThisEpoch(v, epoch) {
+						written[l].SetRow(v, c.Row(v))
+						updated++
+					}
+				}
+				updSum += float64(updated) / float64(c.Rows)
+				c = written[l].Clone()
+			}
+		} else {
+			updSum++
+		}
+		fw.combined = append(fw.combined, c)
+
+		a := adj.MulDense(c)
+		fw.aggregated = append(fw.aggregated, a)
+		if l+1 < layers {
+			mask := a.ReLUMask()
+			if dropout > 0 {
+				keep := 1 - dropout
+				for i := range mask.Data {
+					if mask.Data[i] > 0 {
+						if rng.Float64() < dropout {
+							mask.Data[i] = 0
+						} else {
+							mask.Data[i] = 1 / keep // inverted dropout
+						}
+					}
+				}
+			}
+			fw.masks = append(fw.masks, mask)
+			h = a.Clone()
+			h.MulInPlace(mask)
+		} else {
+			fw.masks = append(fw.masks, nil)
+			h = a
+		}
+	}
+	fw.out = h
+	fw.updatedFrac = updSum / float64(layers)
+	return fw
+}
+
+// backward runs standard GCN backprop from dOut (gradient w.r.t. the
+// final aggregated output) and returns per-layer weight gradients.
+// Stale rows are treated as the values actually used in the forward
+// pass (the hardware computes gradients with the data it has).
+func backward(adj *sparsemat.CSR, fw *forwardState, weights []*tensor.Matrix, dOut *tensor.Matrix) []*tensor.Matrix {
+	layers := len(weights)
+	grads := make([]*tensor.Matrix, layers)
+	dA := dOut
+	for l := layers - 1; l >= 0; l-- {
+		if fw.masks[l] != nil {
+			dA = dA.Clone()
+			dA.MulInPlace(fw.masks[l])
+		}
+		// A = Â·C → dC = Âᵀ·dA.
+		dC := adj.TMulDense(dA)
+		// C = H·W → dW = Hᵀ·dC, dH = dC·Wᵀ.
+		grads[l] = tensor.MatMul(fw.inputs[l].T(), dC)
+		if l > 0 {
+			dA = tensor.MatMul(dC, weights[l].T())
+		}
+	}
+	return grads
+}

@@ -1,0 +1,111 @@
+package graphgen
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"gopim/internal/tensor"
+)
+
+// graphWire is the portable encoding of a Graph: the CSR adjacency
+// arrays (values are implicitly 1).
+type graphWire struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+}
+
+// instanceWire is the portable encoding of an Instance.
+type instanceWire struct {
+	Dataset             Dataset
+	Scale               float64
+	Graph               graphWire
+	Features            *tensor.Matrix
+	Labels              []int
+	TrainMask, TestMask []bool
+	PosEdges, NegEdges  [][2]int
+}
+
+func (g *Graph) wire() graphWire {
+	return graphWire{N: g.N, RowPtr: g.adj.RowPtr, ColIdx: g.adj.ColIdx}
+}
+
+func fromWire(w graphWire) (*Graph, error) {
+	if w.N < 0 || len(w.RowPtr) != w.N+1 {
+		return nil, fmt.Errorf("graphgen: corrupt graph encoding (n=%d, rowptr=%d)", w.N, len(w.RowPtr))
+	}
+	var pairs [][2]int
+	for u := 0; u < w.N; u++ {
+		lo, hi := w.RowPtr[u], w.RowPtr[u+1]
+		if lo > hi || hi > len(w.ColIdx) {
+			return nil, fmt.Errorf("graphgen: corrupt row pointers at vertex %d", u)
+		}
+		for _, v := range w.ColIdx[lo:hi] {
+			if v < 0 || v >= w.N {
+				return nil, fmt.Errorf("graphgen: corrupt neighbour %d at vertex %d", v, u)
+			}
+			if u < v {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	}
+	return FromEdges(w.N, pairs), nil
+}
+
+// Save writes the graph in a self-contained binary encoding.
+func (g *Graph) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(g.wire())
+}
+
+// LoadGraph reads a graph written by Save.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	var w graphWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("graphgen: decode graph: %w", err)
+	}
+	return fromWire(w)
+}
+
+// Save writes the instance (graph, features, labels, splits) in a
+// self-contained binary encoding, so expensive synthetic instances can
+// be generated once and reused across runs.
+func (inst *Instance) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(instanceWire{
+		Dataset:   inst.Dataset,
+		Scale:     inst.Scale,
+		Graph:     inst.Graph.wire(),
+		Features:  inst.Features,
+		Labels:    inst.Labels,
+		TrainMask: inst.TrainMask,
+		TestMask:  inst.TestMask,
+		PosEdges:  inst.PosEdges,
+		NegEdges:  inst.NegEdges,
+	})
+}
+
+// LoadInstance reads an instance written by Instance.Save.
+func LoadInstance(r io.Reader) (*Instance, error) {
+	var w instanceWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("graphgen: decode instance: %w", err)
+	}
+	g, err := fromWire(w.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if w.Features != nil && w.Features.Rows != g.N {
+		return nil, fmt.Errorf("graphgen: features for %d vertices on a %d-vertex graph", w.Features.Rows, g.N)
+	}
+	return &Instance{
+		Dataset:   w.Dataset,
+		Scale:     w.Scale,
+		Graph:     g,
+		Features:  w.Features,
+		Labels:    w.Labels,
+		TrainMask: w.TrainMask,
+		TestMask:  w.TestMask,
+		PosEdges:  w.PosEdges,
+		NegEdges:  w.NegEdges,
+	}, nil
+}

@@ -1,0 +1,101 @@
+package graphgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGraphSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := PowerLaw(rng, 500, 8, 2.2)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || got.Edges() != g.Edges() {
+		t.Fatalf("round trip lost structure: %d/%d vs %d/%d", got.N, got.Edges(), g.N, g.Edges())
+	}
+	for v := 0; v < g.N; v++ {
+		if got.Degree(v) != g.Degree(v) {
+			t.Fatalf("vertex %d degree %d, want %d", v, got.Degree(v), g.Degree(v))
+		}
+	}
+}
+
+func TestInstanceSaveLoadRoundTrip(t *testing.T) {
+	d, err := ByName("arxiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := d.Synthesize(4, 300)
+	var buf bytes.Buffer
+	if err := inst.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset.Name != "arxiv" || got.Graph.N != inst.Graph.N {
+		t.Fatalf("metadata lost: %+v", got.Dataset)
+	}
+	if !got.Features.Equal(inst.Features, 0) {
+		t.Fatal("features lost")
+	}
+	for v := range inst.Labels {
+		if got.Labels[v] != inst.Labels[v] {
+			t.Fatal("labels lost")
+		}
+		if got.TrainMask[v] != inst.TrainMask[v] || got.TestMask[v] != inst.TestMask[v] {
+			t.Fatal("masks lost")
+		}
+	}
+}
+
+func TestInstanceSaveLoadLinkTask(t *testing.T) {
+	d, err := ByName("ddi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := d.Synthesize(4, 200)
+	var buf bytes.Buffer
+	if err := inst.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PosEdges) != len(inst.PosEdges) || len(got.NegEdges) != len(inst.NegEdges) {
+		t.Fatal("link splits lost")
+	}
+}
+
+func TestLoadGraphRejectsGarbage(t *testing.T) {
+	if _, err := LoadGraph(strings.NewReader("not gob at all")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := LoadInstance(strings.NewReader("nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadGraphRejectsCorruptWire(t *testing.T) {
+	for i, w := range []graphWire{
+		{N: -1},
+		{N: 2, RowPtr: []int{0, 1}}, // wrong rowptr length
+		{N: 1, RowPtr: []int{0, 5}, ColIdx: []int{0}},    // hi > len
+		{N: 2, RowPtr: []int{0, 1, 1}, ColIdx: []int{9}}, // neighbour out of range
+		{N: 2, RowPtr: []int{1, 0, 0}, ColIdx: nil},      // lo > hi
+	} {
+		if _, err := fromWire(w); err == nil {
+			t.Fatalf("case %d: expected error for corrupt wire %+v", i, w)
+		}
+	}
+}

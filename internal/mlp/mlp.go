@@ -1,0 +1,221 @@
+// Package mlp is a minimal dense neural network — linear layers with
+// ReLU activations, mean-squared-error loss, and Adam optimisation —
+// sufficient for GoPIM's execution-time predictor (paper §V-A: a
+// three-layer MLP with 10 inputs, 256 hidden neurons, 1 output).
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gopim/internal/tensor"
+)
+
+// Net is a feed-forward network: Linear → ReLU → … → Linear.
+type Net struct {
+	// Sizes lists layer widths, e.g. {10, 256, 1}.
+	Sizes []int
+	// Weights[i] is Sizes[i]×Sizes[i+1]; Biases[i] has Sizes[i+1]
+	// entries.
+	Weights []*tensor.Matrix
+	Biases  [][]float64
+}
+
+// New constructs a network with Glorot-initialised weights.
+// sizes must contain at least an input and an output width.
+func New(rng *rand.Rand, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("mlp: need ≥ 2 layer sizes, got %v", sizes))
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			panic(fmt.Sprintf("mlp: layer size %d must be positive", s))
+		}
+	}
+	n := &Net{Sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		n.Weights = append(n.Weights, tensor.NewGlorot(rng, sizes[i], sizes[i+1]))
+		n.Biases = append(n.Biases, make([]float64, sizes[i+1]))
+	}
+	return n
+}
+
+// NumLayers returns the number of linear layers.
+func (n *Net) NumLayers() int { return len(n.Weights) }
+
+// Forward runs a batch (rows = samples) through the network.
+func (n *Net) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out, _ := n.forwardCached(x)
+	return out
+}
+
+// forwardCached returns the output and every layer's pre-activation,
+// needed for backprop. acts[0] is the input; acts[i] for i ≥ 1 is the
+// post-activation output of layer i-1 (post-ReLU except the last).
+func (n *Net) forwardCached(x *tensor.Matrix) (*tensor.Matrix, []*tensor.Matrix) {
+	if x.Cols != n.Sizes[0] {
+		panic(fmt.Sprintf("mlp: input width %d, want %d", x.Cols, n.Sizes[0]))
+	}
+	acts := make([]*tensor.Matrix, 0, len(n.Weights)+1)
+	acts = append(acts, x)
+	cur := x
+	for i, w := range n.Weights {
+		z := tensor.MatMul(cur, w)
+		z.AddRowVector(n.Biases[i])
+		if i+1 < len(n.Weights) {
+			z = z.ReLU()
+		}
+		acts = append(acts, z)
+		cur = z
+	}
+	return cur, acts
+}
+
+// grads holds one backward pass's parameter gradients.
+type grads struct {
+	w []*tensor.Matrix
+	b [][]float64
+}
+
+// backward computes MSE-loss gradients for a batch. pred and target
+// are batch×outputs. Returns loss and gradients.
+func (n *Net) backward(acts []*tensor.Matrix, target *tensor.Matrix) (float64, grads) {
+	batch := float64(target.Rows)
+	pred := acts[len(acts)-1]
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("mlp: target %dx%d vs pred %dx%d", target.Rows, target.Cols, pred.Rows, pred.Cols))
+	}
+	// dL/dpred for MSE = 2(pred − target)/batch; loss = mean squared
+	// error over all entries.
+	delta := pred.Clone()
+	delta.SubInPlace(target)
+	var loss float64
+	for _, v := range delta.Data {
+		loss += v * v
+	}
+	loss /= batch * float64(target.Cols)
+	delta.ScaleInPlace(2 / (batch * float64(target.Cols)))
+
+	g := grads{
+		w: make([]*tensor.Matrix, len(n.Weights)),
+		b: make([][]float64, len(n.Weights)),
+	}
+	for i := len(n.Weights) - 1; i >= 0; i-- {
+		in := acts[i]
+		g.w[i] = tensor.MatMul(in.T(), delta)
+		g.b[i] = delta.ColSums()
+		if i > 0 {
+			// Propagate through the previous ReLU.
+			delta = tensor.MatMul(delta, n.Weights[i].T())
+			delta.MulInPlace(acts[i].ReLUMask())
+		}
+	}
+	return loss, g
+}
+
+// Adam is the Adam optimiser state for one Net.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t  int
+	mw []*tensor.Matrix
+	vw []*tensor.Matrix
+	mb [][]float64
+	vb [][]float64
+}
+
+// NewAdam returns an optimiser with the usual defaults
+// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+func (a *Adam) init(n *Net) {
+	if a.mw != nil {
+		return
+	}
+	for i := range n.Weights {
+		a.mw = append(a.mw, tensor.New(n.Weights[i].Rows, n.Weights[i].Cols))
+		a.vw = append(a.vw, tensor.New(n.Weights[i].Rows, n.Weights[i].Cols))
+		a.mb = append(a.mb, make([]float64, len(n.Biases[i])))
+		a.vb = append(a.vb, make([]float64, len(n.Biases[i])))
+	}
+}
+
+func (a *Adam) step(n *Net, g grads) {
+	a.init(n)
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range n.Weights {
+		wd, gd := n.Weights[i].Data, g.w[i].Data
+		md, vd := a.mw[i].Data, a.vw[i].Data
+		for j := range wd {
+			md[j] = a.Beta1*md[j] + (1-a.Beta1)*gd[j]
+			vd[j] = a.Beta2*vd[j] + (1-a.Beta2)*gd[j]*gd[j]
+			wd[j] -= a.LR * (md[j] / c1) / (math.Sqrt(vd[j]/c2) + a.Eps)
+		}
+		bb, gb := n.Biases[i], g.b[i]
+		mb, vb := a.mb[i], a.vb[i]
+		for j := range bb {
+			mb[j] = a.Beta1*mb[j] + (1-a.Beta1)*gb[j]
+			vb[j] = a.Beta2*vb[j] + (1-a.Beta2)*gb[j]*gb[j]
+			bb[j] -= a.LR * (mb[j] / c1) / (math.Sqrt(vb[j]/c2) + a.Eps)
+		}
+	}
+}
+
+// TrainStep runs one forward/backward pass on a batch and applies an
+// Adam update. It returns the batch's pre-update MSE loss.
+func (n *Net) TrainStep(opt *Adam, x, y *tensor.Matrix) float64 {
+	_, acts := n.forwardCached(x)
+	loss, g := n.backward(acts, y)
+	opt.step(n, g)
+	return loss
+}
+
+// Fit trains for epochs over (x, y) in mini-batches of batchSize,
+// shuffling sample order with rng each epoch, and returns the final
+// epoch's mean loss.
+func (n *Net) Fit(rng *rand.Rand, opt *Adam, x, y *tensor.Matrix, epochs, batchSize int) float64 {
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("mlp: %d samples vs %d targets", x.Rows, y.Rows))
+	}
+	if batchSize < 1 {
+		batchSize = x.Rows
+	}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum float64
+		var batches int
+		for s := 0; s < len(idx); s += batchSize {
+			e := s + batchSize
+			if e > len(idx) {
+				e = len(idx)
+			}
+			bx := tensor.New(e-s, x.Cols)
+			by := tensor.New(e-s, y.Cols)
+			for r, id := range idx[s:e] {
+				bx.SetRow(r, x.Row(id))
+				by.SetRow(r, y.Row(id))
+			}
+			sum += n.TrainStep(opt, bx, by)
+			batches++
+		}
+		last = sum / float64(batches)
+	}
+	return last
+}
+
+// Predict returns the network output for a single sample.
+func (n *Net) Predict(sample []float64) []float64 {
+	x := tensor.NewFromRows([][]float64{sample})
+	out := n.Forward(x)
+	return append([]float64(nil), out.Row(0)...)
+}

@@ -1,0 +1,94 @@
+// Package noc models the on-chip interconnect of paper §IV-A: "ReRAM
+// tiles are connected through adders and pipeline bus to support the
+// inter-tile data Aggregation and transmission". An aggregation stage
+// whose mapped feature matrix spans many tiles must merge partial sums
+// across those tiles through an adder tree and move operands over the
+// shared pipeline bus; both costs grow with the stage's tile span.
+//
+// The model is analytic: a binary adder-tree depth term plus a
+// bus-serialisation term, per micro-batch. It is exposed as an
+// optional refinement (see stage.Config users) and as a standalone
+// analysis in the NoC ablation bench — the headline calibration of
+// DESIGN.md §2 subsumes average interconnect cost in its MVM constants.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes the interconnect.
+type Params struct {
+	// HopLatencyNS is one adder/bus pipeline hop.
+	HopLatencyNS float64
+	// BusBytesPerNS is the pipeline bus bandwidth.
+	BusBytesPerNS float64
+	// LinkWidthBytes is the flit size of one transfer.
+	LinkWidthBytes int
+}
+
+// Default returns an interconnect consistent with the Table II chip:
+// a 2 GHz pipeline bus moving 32 bytes per cycle with 0.5 ns hops.
+func Default() Params {
+	return Params{HopLatencyNS: 0.5, BusBytesPerNS: 64, LinkWidthBytes: 32}
+}
+
+// Validate reports a descriptive error for nonsensical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.HopLatencyNS <= 0:
+		return fmt.Errorf("noc: hop latency %v must be positive", p.HopLatencyNS)
+	case p.BusBytesPerNS <= 0:
+		return fmt.Errorf("noc: bus bandwidth %v must be positive", p.BusBytesPerNS)
+	case p.LinkWidthBytes <= 0:
+		return fmt.Errorf("noc: link width %d must be positive", p.LinkWidthBytes)
+	}
+	return nil
+}
+
+// AdderTreeDepth returns the depth of the binary reduction tree
+// merging partial sums from `tiles` tiles (0 for a single tile).
+func AdderTreeDepth(tiles int) int {
+	if tiles <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(tiles))))
+}
+
+// ReduceLatencyNS is the time to merge one output vector's partial
+// sums across tiles: tree depth × hop latency, plus streaming the
+// vector through the bus once.
+func (p Params) ReduceLatencyNS(tiles, vectorBytes int) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if vectorBytes < 0 {
+		panic(fmt.Sprintf("noc: negative vector size %d", vectorBytes))
+	}
+	depth := float64(AdderTreeDepth(tiles))
+	stream := float64(vectorBytes) / p.BusBytesPerNS
+	return depth*p.HopLatencyNS + stream
+}
+
+// AggregationOverheadNS estimates the per-micro-batch interconnect
+// cost of an aggregation stage: each of the micro-batch's b output
+// vectors (outDim values × 2 bytes) reduces across the tiles the
+// mapped feature matrix spans.
+func (p Params) AggregationOverheadNS(b, outDim, tiles int) float64 {
+	if b < 0 || outDim < 0 {
+		panic(fmt.Sprintf("noc: negative workload b=%d out=%d", b, outDim))
+	}
+	vectorBytes := outDim * 2
+	return float64(b) * p.ReduceLatencyNS(tiles, vectorBytes)
+}
+
+// TilesForCrossbars converts a crossbar footprint to a tile span.
+func TilesForCrossbars(crossbars, crossbarsPerTile int) int {
+	if crossbarsPerTile < 1 {
+		panic(fmt.Sprintf("noc: crossbars per tile %d must be positive", crossbarsPerTile))
+	}
+	if crossbars <= 0 {
+		return 0
+	}
+	return (crossbars + crossbarsPerTile - 1) / crossbarsPerTile
+}

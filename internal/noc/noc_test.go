@@ -1,0 +1,116 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Params{
+		{HopLatencyNS: 0, BusBytesPerNS: 1, LinkWidthBytes: 1},
+		{HopLatencyNS: 1, BusBytesPerNS: 0, LinkWidthBytes: 1},
+		{HopLatencyNS: 1, BusBytesPerNS: 1, LinkWidthBytes: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAdderTreeDepth(t *testing.T) {
+	cases := []struct{ tiles, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {17, 5}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := AdderTreeDepth(c.tiles); got != c.want {
+			t.Fatalf("AdderTreeDepth(%d) = %d, want %d", c.tiles, got, c.want)
+		}
+	}
+}
+
+func TestReduceLatency(t *testing.T) {
+	p := Default()
+	// Single tile: streaming only.
+	got := p.ReduceLatencyNS(1, 512)
+	if math.Abs(got-512/p.BusBytesPerNS) > 1e-12 {
+		t.Fatalf("single-tile reduce = %v", got)
+	}
+	// 16 tiles: 4 hops + streaming.
+	got = p.ReduceLatencyNS(16, 512)
+	want := 4*p.HopLatencyNS + 512/p.BusBytesPerNS
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("16-tile reduce = %v, want %v", got, want)
+	}
+}
+
+// Property: the overhead grows monotonically with each input.
+func TestOverheadMonotone(t *testing.T) {
+	p := Default()
+	f := func(b, out, tiles uint8) bool {
+		bb, oo, tt := int(b)+1, int(out)+1, int(tiles)+1
+		base := p.AggregationOverheadNS(bb, oo, tt)
+		return p.AggregationOverheadNS(bb+1, oo, tt) >= base &&
+			p.AggregationOverheadNS(bb, oo+1, tt) >= base &&
+			p.AggregationOverheadNS(bb, oo, tt+1) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregationOverheadScale(t *testing.T) {
+	p := Default()
+	// ddi AG: 534 crossbars ≈ 3 tiles, 64 outputs of 256 values.
+	tiles := TilesForCrossbars(534, 256)
+	if tiles != 3 {
+		t.Fatalf("tiles = %d, want 3", tiles)
+	}
+	got := p.AggregationOverheadNS(64, 256, tiles)
+	// Must stay far below the AG stage time (~1.9 ms): the headline
+	// calibration treats interconnect as second-order.
+	if got <= 0 || got > 100_000 {
+		t.Fatalf("overhead = %v ns, want positive and ≪ stage time", got)
+	}
+}
+
+func TestTilesForCrossbars(t *testing.T) {
+	if TilesForCrossbars(0, 256) != 0 {
+		t.Fatal("no crossbars → no tiles")
+	}
+	if TilesForCrossbars(257, 256) != 2 {
+		t.Fatal("ceil division expected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TilesForCrossbars(1, 0)
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := Default()
+	for _, f := range []func(){
+		func() { p.ReduceLatencyNS(1, -1) },
+		func() { p.AggregationOverheadNS(-1, 1, 1) },
+		func() { p.AggregationOverheadNS(1, -1, 1) },
+		func() { (Params{}).ReduceLatencyNS(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

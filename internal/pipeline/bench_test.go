@@ -1,0 +1,22 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSimulateLongPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	times := make([]float64, 12)
+	reps := make([]int, 12)
+	for i := range times {
+		times[i] = rng.Float64() * 1000
+		reps[i] = 1 + rng.Intn(64)
+	}
+	in := Input{TimesNS: times, Replicas: reps, MicroBatches: 10_000, Mode: IntraInterBatch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(in)
+	}
+}

@@ -1,0 +1,269 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"gopim/internal/stage"
+)
+
+// TimePredictor predicts per-stage execution times from Table I
+// features. One regressor is trained per stage kind (CO, AG, LC, GC)
+// on log-scaled, min-max-normalised targets — stage times span four
+// orders of magnitude, and the paper's RMSE (≈0.002) is only
+// meaningful on a normalised scale.
+type TimePredictor struct {
+	// NewModel constructs the regressor family used for each stage
+	// kind; defaults to the paper's MLP.
+	NewModel func() Regressor
+
+	models map[stage.Kind]Regressor
+	lo, hi map[stage.Kind]float64 // log-target normalisation bounds
+}
+
+// NewTimePredictor returns an untrained predictor using the paper's
+// 3-layer MLP family.
+func NewTimePredictor() *TimePredictor {
+	return &TimePredictor{NewModel: func() Regressor { return NewMLP() }}
+}
+
+// logFeatures maps a Table I feature vector to log space: stage times
+// are products of dimensional quantities, so log features make the
+// relationship near-linear and learnable by every model family. The
+// sparsity feature is the exception — its information lives in the
+// density 1−s, which spans six orders of magnitude across the catalog,
+// so it enters as log density.
+func logFeatures(f Features) []float64 {
+	out := make([]float64, len(f))
+	for i, v := range f {
+		if i == FSparsity {
+			out[i] = math.Log(1 - v + 1e-9)
+			continue
+		}
+		out[i] = math.Log1p(v)
+	}
+	return out
+}
+
+// logNorm maps a time to normalised log space given bounds.
+func logNorm(t, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return (math.Log(t) - lo) / (hi - lo)
+}
+
+func logDenorm(v, lo, hi float64) float64 {
+	return math.Exp(v*(hi-lo) + lo)
+}
+
+// Train fits one model per stage kind on the samples.
+func (p *TimePredictor) Train(samples []Sample) {
+	if len(samples) == 0 {
+		panic("predictor: no training samples")
+	}
+	if p.NewModel == nil {
+		p.NewModel = func() Regressor { return NewMLP() }
+	}
+	byKind := map[stage.Kind][]Sample{}
+	for _, s := range samples {
+		if s.TimeNS <= 0 {
+			panic(fmt.Sprintf("predictor: sample with non-positive time %v", s.TimeNS))
+		}
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	p.models = map[stage.Kind]Regressor{}
+	p.lo = map[stage.Kind]float64{}
+	p.hi = map[stage.Kind]float64{}
+	for kind, ss := range byKind {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range ss {
+			l := math.Log(s.TimeNS)
+			lo = math.Min(lo, l)
+			hi = math.Max(hi, l)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		X := make([][]float64, len(ss))
+		y := make([]float64, len(ss))
+		for i, s := range ss {
+			X[i] = logFeatures(s.Features)
+			y[i] = logNorm(s.TimeNS, lo, hi)
+		}
+		m := p.NewModel()
+		m.Fit(X, y)
+		p.models[kind] = m
+		p.lo[kind] = lo
+		p.hi[kind] = hi
+	}
+}
+
+// PredictSample returns the predicted time in nanoseconds for one
+// feature vector and stage kind.
+func (p *TimePredictor) PredictSample(f Features, kind stage.Kind) float64 {
+	m, ok := p.models[kind]
+	if !ok {
+		panic(fmt.Sprintf("predictor: no model for stage kind %v", kind))
+	}
+	v := m.Predict(logFeatures(f))
+	// Clamp to slightly beyond the training envelope: in normalised
+	// log space, extrapolations explode exponentially on denorm, and a
+	// stage time far outside everything ever profiled is never a
+	// trustworthy prediction.
+	if v < -0.25 {
+		v = -0.25
+	}
+	if v > 1.25 {
+		v = 1.25
+	}
+	return logDenorm(v, p.lo[kind], p.hi[kind])
+}
+
+// PredictTimes predicts the per-micro-batch time of every stage of a
+// workload, in stage.Build order. This is the input GoPIM's resource
+// allocator consumes (paper §V-B).
+func (p *TimePredictor) PredictTimes(cfg stage.Config) []float64 {
+	stages := stage.Build(cfg)
+	out := make([]float64, len(stages))
+	for i, s := range stages {
+		out[i] = p.PredictSample(Extract(cfg, s.Layer), s.Kind)
+	}
+	return out
+}
+
+// RMSE computes the root-mean-square error of a predictor over test
+// samples, measured in the normalised log-time space (comparable to
+// the paper's 0.0022 figure).
+func (p *TimePredictor) RMSE(test []Sample) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, s := range test {
+		m, ok := p.models[s.Kind]
+		if !ok {
+			continue
+		}
+		pred := m.Predict(logFeatures(s.Features))
+		want := logNorm(s.TimeNS, p.lo[s.Kind], p.hi[s.Kind])
+		d := pred - want
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MeanRelativeError reports |pred−true|/true averaged over samples —
+// the "prediction accuracy" metric of the paper's generalisation study
+// is 1 − this value.
+func (p *TimePredictor) MeanRelativeError(test []Sample) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, s := range test {
+		if _, ok := p.models[s.Kind]; !ok {
+			continue
+		}
+		pred := p.PredictSample(s.Features, s.Kind)
+		sum += math.Abs(pred-s.TimeNS) / s.TimeNS
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ModelRMSE trains a fresh predictor with the given model family on
+// train and reports RMSE on test — one bar of paper Fig. 9(a).
+func ModelRMSE(newModel func() Regressor, train, test []Sample) float64 {
+	p := &TimePredictor{NewModel: newModel}
+	p.Train(train)
+	return p.RMSE(test)
+}
+
+// Fig9Models returns the model families of paper Fig. 9(a) keyed by
+// their display names, in the paper's order.
+func Fig9Models() []struct {
+	Name string
+	New  func() Regressor
+} {
+	return []struct {
+		Name string
+		New  func() Regressor
+	}{
+		{"MLP", func() Regressor { return NewMLP() }},
+		{"XGB", func() Regressor { return NewGBT() }},
+		{"SVR", func() Regressor { return NewSVR() }},
+		{"DT", func() Regressor { return NewTree() }},
+		{"LR", func() Regressor { return NewLinear() }},
+		{"BR", func() Regressor { return NewBayesianRidge() }},
+	}
+}
+
+// MLPWithDepth builds the Fig. 9(b) variants: total layer count
+// `layers` (2–6) with 256-wide hidden layers.
+func MLPWithDepth(layers int) *MLP {
+	if layers < 2 {
+		panic(fmt.Sprintf("predictor: MLP needs ≥ 2 layers, got %d", layers))
+	}
+	hidden := make([]int, layers-2)
+	for i := range hidden {
+		hidden[i] = 256
+	}
+	m := NewMLP()
+	m.Hidden = hidden
+	return m
+}
+
+// MLPWithWidth builds the Fig. 9(c) variants: a three-layer MLP with
+// the given hidden width.
+func MLPWithWidth(width int) *MLP {
+	if width < 1 {
+		panic(fmt.Sprintf("predictor: width %d must be positive", width))
+	}
+	m := NewMLP()
+	m.Hidden = []int{width}
+	return m
+}
+
+// FeatureAblation reproduces the paper's §V-A feature-selection study:
+// re-train the predictor with one Table I feature blinded at a time
+// (replaced by a constant, so the model cannot use it) and report the
+// test RMSE for each ablation alongside the full-feature baseline.
+// A large RMSE jump means the feature must be kept.
+func FeatureAblation(newModel func() Regressor, train, test []Sample) (baseline float64, ablated [NumFeatures]float64) {
+	baseline = ModelRMSE(newModel, train, test)
+	for f := 0; f < NumFeatures; f++ {
+		blindTrain := blindFeature(train, f)
+		blindTest := blindFeature(test, f)
+		ablated[f] = ModelRMSE(newModel, blindTrain, blindTest)
+	}
+	return baseline, ablated
+}
+
+// BlindFeatures zeroes the given features in a copy of the samples —
+// useful for group ablations, since several Table I features carry the
+// same quantity (e.g. the graph size appears as both C_A_AG and
+// R_E_AG) and only blinding the whole group removes the information.
+func BlindFeatures(samples []Sample, feats ...int) []Sample {
+	out := make([]Sample, len(samples))
+	copy(out, samples)
+	for i := range out {
+		for _, f := range feats {
+			out[i].Features[f] = 0
+		}
+	}
+	return out
+}
+
+func blindFeature(samples []Sample, f int) []Sample {
+	return BlindFeatures(samples, f)
+}

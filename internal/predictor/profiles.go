@@ -1,0 +1,104 @@
+package predictor
+
+import (
+	"math/rand"
+
+	"gopim/internal/graphgen"
+	"gopim/internal/reram"
+	"gopim/internal/stage"
+)
+
+// ProfileSpec controls synthetic profile-dataset generation. The paper
+// collects ~2 200 samples by running six workloads for 30 epochs; we
+// sweep the same axes (dataset, graph scale, hidden width, micro-batch
+// size) through the timing model directly.
+type ProfileSpec struct {
+	Chip reram.Chip
+	// Datasets to profile; defaults to the full catalog.
+	Datasets []graphgen.Dataset
+	// Scales shrink each dataset's vertex count; defaults to
+	// {0.1, 0.3, 1.0} capped at MaxVertices.
+	Scales []float64
+	// HiddenWidths override Table IV's hidden channels; defaults to
+	// {64, 128, 256, 512}.
+	HiddenWidths []int
+	// MicroBatches to sweep; defaults to {16, 32, 64, 128, 256}.
+	MicroBatches []int
+	// MaxVertices caps the degree-model size for generation speed;
+	// defaults to 300 000.
+	MaxVertices int
+	// NoiseFrac adds multiplicative measurement jitter to the recorded
+	// stage times (the paper's profiles are real measurements, not
+	// analytic values); defaults to 2%. Negative disables.
+	NoiseFrac float64
+	Seed      int64
+}
+
+func (s *ProfileSpec) defaults() {
+	if s.Datasets == nil {
+		s.Datasets = graphgen.Catalog()
+	}
+	if s.Scales == nil {
+		s.Scales = []float64{0.1, 0.3, 1.0}
+	}
+	if s.HiddenWidths == nil {
+		s.HiddenWidths = []int{64, 128, 256, 512}
+	}
+	if s.MicroBatches == nil {
+		s.MicroBatches = []int{16, 32, 64, 128, 256}
+	}
+	if s.MaxVertices == 0 {
+		s.MaxVertices = 300_000
+	}
+	if s.NoiseFrac == 0 {
+		s.NoiseFrac = 0.02
+	}
+	if s.NoiseFrac < 0 {
+		s.NoiseFrac = 0
+	}
+	if s.Chip.Tiles == 0 {
+		s.Chip = reram.DefaultChip()
+	}
+}
+
+// Generate produces the profile dataset by sweeping the spec's axes
+// through the timing simulator.
+func Generate(spec ProfileSpec) []Sample {
+	spec.defaults()
+	var samples []Sample
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for _, d := range spec.Datasets {
+		for _, scale := range spec.Scales {
+			n := int(float64(d.PaperVertices) * scale)
+			if n > spec.MaxVertices {
+				n = spec.MaxVertices
+			}
+			if n < 64 {
+				n = 64
+			}
+			deg := graphgen.NewDegreeModel(
+				graphgen.PowerLawWeights(rng, n, d.PaperAvgDeg, graphgen.PowerLawAlpha))
+			for _, hidden := range spec.HiddenWidths {
+				ds := d
+				ds.HiddenCh = hidden
+				for _, mb := range spec.MicroBatches {
+					cfg := stage.Config{
+						Chip:       spec.Chip,
+						Dataset:    ds,
+						Deg:        deg,
+						MicroBatch: mb,
+					}
+					ws := ProfileWorkload(cfg)
+					for i := range ws {
+						ws[i].TimeNS *= 1 + spec.NoiseFrac*rng.NormFloat64()
+						if ws[i].TimeNS <= 0 {
+							ws[i].TimeNS = 1
+						}
+					}
+					samples = append(samples, ws...)
+				}
+			}
+		}
+	}
+	return samples
+}

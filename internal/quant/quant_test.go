@@ -1,0 +1,171 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/tensor"
+)
+
+func TestFitValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Fit(1, 1) },
+		func() { Fit(63, 1) },
+		func() { Fit(8, -1) },
+		func() { Fit(8, math.NaN()) },
+		func() { Fit(8, math.Inf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantizeBasics(t *testing.T) {
+	s := Fit(16, 1.0)
+	if s.Levels() != 32767 {
+		t.Fatalf("Levels = %d, want 32767", s.Levels())
+	}
+	if got := s.Quantize(0); got != 0 {
+		t.Fatalf("Quantize(0) = %v", got)
+	}
+	if got := s.Quantize(1.0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Quantize(1) = %v", got)
+	}
+	if got := s.Quantize(-1.0); math.Abs(got+1.0) > 1e-12 {
+		t.Fatalf("Quantize(-1) = %v", got)
+	}
+	// Clamping.
+	if got := s.Quantize(5.0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("out-of-range must clamp: %v", got)
+	}
+	if got := s.Quantize(-5.0); math.Abs(got+1.0) > 1e-12 {
+		t.Fatalf("out-of-range must clamp: %v", got)
+	}
+}
+
+// Property: quantisation error is bounded by half a step for in-range
+// inputs, and quantisation is idempotent.
+func TestQuantErrorBoundAndIdempotence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(15)
+		scale := rng.Float64()*100 + 0.01
+		s := Fit(bits, scale)
+		for k := 0; k < 50; k++ {
+			x := (rng.Float64()*2 - 1) * scale
+			q := s.Quantize(x)
+			if math.Abs(q-x) > s.MaxQuantError()+1e-12 {
+				return false
+			}
+			if s.Quantize(q) != q {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroScaleDegenerate(t *testing.T) {
+	s := Fit(8, 0)
+	if s.Quantize(3.7) != 0 || s.StepSize() != 0 {
+		t.Fatal("zero-scale scheme must map everything to 0")
+	}
+}
+
+func TestQuantizeMatrix(t *testing.T) {
+	m := tensor.NewFromRows([][]float64{{0.5, -2.0}, {1.0, 0.001}})
+	s := QuantizeMatrix(m, 16)
+	if s.Scale != 2.0 {
+		t.Fatalf("scale = %v, want max abs 2.0", s.Scale)
+	}
+	if math.Abs(m.At(0, 1)+2.0) > 1e-12 {
+		t.Fatalf("extreme value must be exact: %v", m.At(0, 1))
+	}
+	if math.Abs(m.At(1, 1)-0.001) > s.MaxQuantError() {
+		t.Fatalf("small value error too large: %v", m.At(1, 1))
+	}
+}
+
+func TestQuantizeRowsSelective(t *testing.T) {
+	// 0.0567 is off the 4-bit grid whose scale is set by the 0.9 entry.
+	m := tensor.NewFromRows([][]float64{{0.0567, 0.9}, {0.0567, 0.9}})
+	QuantizeRows(m, 4, []int{0})
+	if m.At(0, 0) == 0.0567 {
+		t.Fatal("selected row must be quantised")
+	}
+	if m.At(1, 0) != 0.0567 {
+		t.Fatal("unselected row must be untouched")
+	}
+}
+
+// Property: slice decomposition round-trips for any code that fits.
+func TestSlicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(15)
+		bpc := 1 + rng.Intn(4)
+		cells := CellsPerValue(bits, bpc)
+		s := Fit(bits, 10)
+		x := (rng.Float64()*2 - 1) * 10
+		q := s.QuantizeInt(x)
+		slices := Slices(q, bpc, cells)
+		back := FromSlices(slices, bpc, q < 0)
+		return back == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Table II configuration: 16-bit values on 2-bit cells need 8
+// cells per value — the differential-pair footprint CrossbarsForMatrix
+// assumes.
+func TestCellsPerValueTableII(t *testing.T) {
+	if got := CellsPerValue(16, 2); got != 8 {
+		t.Fatalf("CellsPerValue(16,2) = %d, want 8", got)
+	}
+	if got := CellsPerValue(2, 2); got != 1 {
+		t.Fatalf("CellsPerValue(2,2) = %d, want 1", got)
+	}
+}
+
+func TestSlicesValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Slices(1, 0, 4) },
+		func() { Slices(1, 9, 4) },
+		func() { Slices(1, 2, 0) },
+		func() { Slices(1<<20, 2, 2) }, // does not fit
+		func() { CellsPerValue(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSlicesLSBFirst(t *testing.T) {
+	// code 0b011011 at 2 bits/cell → slices [0b11, 0b10, 0b01].
+	got := Slices(0b011011, 2, 3)
+	if got[0] != 0b11 || got[1] != 0b10 || got[2] != 0b01 {
+		t.Fatalf("Slices = %v", got)
+	}
+	if FromSlices(got, 2, true) != -0b011011 {
+		t.Fatal("sign recomposition wrong")
+	}
+}

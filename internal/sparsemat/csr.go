@@ -1,0 +1,241 @@
+// Package sparsemat implements compressed sparse row (CSR) matrices
+// and the sparse-dense products used by GCN aggregation (Â·H) and its
+// backward pass (Âᵀ·G).
+//
+// GCN aggregation multiplies the (normalised) adjacency matrix by the
+// dense feature matrix; adjacency matrices of the paper's datasets are
+// far too sparse to store densely, so all graph-side linear algebra in
+// this repository goes through this package.
+package sparsemat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gopim/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix.
+//
+// RowPtr has length Rows+1; the column indices of row r are
+// ColIdx[RowPtr[r]:RowPtr[r+1]] with matching values in Val.
+// Column indices within a row are kept sorted and unique.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// Entry is one (row, col, value) triple used when building a CSR
+// matrix from coordinate form.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewFromEntries builds a CSR matrix from coordinate-form entries.
+// Duplicate (row, col) pairs are summed. Entries out of range panic.
+func NewFromEntries(rows, cols int, entries []Entry) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparsemat: entry (%d,%d) out of range %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, sorted[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ returns the number of stored entries in row r.
+func (m *CSR) RowNNZ(r int) int { return m.RowPtr[r+1] - m.RowPtr[r] }
+
+// Row returns the column indices and values of row r; the returned
+// slices alias the matrix storage.
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("sparsemat: row %d out of range %d", r, m.Rows))
+	}
+	return m.ColIdx[m.RowPtr[r]:m.RowPtr[r+1]], m.Val[m.RowPtr[r]:m.RowPtr[r+1]]
+}
+
+// At returns element (r, c), 0 if not stored. O(log nnz(row)).
+func (m *CSR) At(r, c int) float64 {
+	cols, vals := m.Row(r)
+	i := sort.SearchInts(cols, c)
+	if i < len(cols) && cols[i] == c {
+		return vals[i]
+	}
+	return 0
+}
+
+// Sparsity returns the fraction of zero entries, in [0,1].
+func (m *CSR) Sparsity() float64 {
+	total := float64(m.Rows) * float64(m.Cols)
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(m.NNZ())/total
+}
+
+// MulDense returns m · d as a dense matrix. m.Cols must equal d.Rows.
+func (m *CSR) MulDense(d *tensor.Matrix) *tensor.Matrix {
+	if m.Cols != d.Rows {
+		panic(fmt.Sprintf("sparsemat: MulDense inner dims %d != %d", m.Cols, d.Rows))
+	}
+	out := tensor.New(m.Rows, d.Cols)
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		orow := out.Row(r)
+		for i, c := range cols {
+			v := vals[i]
+			drow := d.Row(c)
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// TMulDense returns mᵀ · d without materialising the transpose.
+// m.Rows must equal d.Rows.
+func (m *CSR) TMulDense(d *tensor.Matrix) *tensor.Matrix {
+	if m.Rows != d.Rows {
+		panic(fmt.Sprintf("sparsemat: TMulDense dims %d != %d", m.Rows, d.Rows))
+	}
+	out := tensor.New(m.Cols, d.Cols)
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		drow := d.Row(r)
+		for i, c := range cols {
+			v := vals[i]
+			orow := out.Row(c)
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// Dense expands the matrix into a dense tensor.Matrix (test helper;
+// avoid for paper-scale graphs).
+func (m *CSR) Dense() *tensor.Matrix {
+	out := tensor.New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			out.Set(r, c, vals[i])
+		}
+	}
+	return out
+}
+
+// Scale returns a copy of m with every value multiplied by s.
+func (m *CSR) Scale(s float64) *CSR {
+	out := m.clone()
+	for i := range out.Val {
+		out.Val[i] *= s
+	}
+	return out
+}
+
+func (m *CSR) clone() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return out
+}
+
+// SymNormalized returns D^{-1/2}·(m+I)·D^{-1/2}, the symmetric GCN
+// normalisation of an adjacency matrix with self-loops, where D is the
+// degree matrix of m+I. m must be square.
+func (m *CSR) SymNormalized() *CSR {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("sparsemat: SymNormalized needs square matrix, got %dx%d", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	entries := make([]Entry, 0, m.NNZ()+n)
+	for r := 0; r < n; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			entries = append(entries, Entry{Row: r, Col: c, Val: vals[i]})
+		}
+		entries = append(entries, Entry{Row: r, Col: r, Val: 1}) // self loop
+	}
+	withLoops := NewFromEntries(n, n, entries)
+	deg := make([]float64, n)
+	for r := 0; r < n; r++ {
+		_, vals := withLoops.Row(r)
+		for _, v := range vals {
+			deg[r] += v
+		}
+	}
+	out := withLoops.clone()
+	for r := 0; r < n; r++ {
+		start, end := out.RowPtr[r], out.RowPtr[r+1]
+		dr := math.Sqrt(deg[r])
+		for i := start; i < end; i++ {
+			dc := math.Sqrt(deg[out.ColIdx[i]])
+			if dr > 0 && dc > 0 {
+				out.Val[i] /= dr * dc
+			}
+		}
+	}
+	return out
+}
+
+// RowMask returns a copy of m with rows r where keep[r] == false
+// zeroed out, emulating dropped contributions of masked vertices.
+func (m *CSR) RowMask(keep []bool) *CSR {
+	if len(keep) != m.Rows {
+		panic(fmt.Sprintf("sparsemat: RowMask length %d != rows %d", len(keep), m.Rows))
+	}
+	entries := make([]Entry, 0, m.NNZ())
+	for r := 0; r < m.Rows; r++ {
+		if !keep[r] {
+			continue
+		}
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			entries = append(entries, Entry{Row: r, Col: c, Val: vals[i]})
+		}
+	}
+	return NewFromEntries(m.Rows, m.Cols, entries)
+}
+
+// String renders a compact description.
+func (m *CSR) String() string {
+	return fmt.Sprintf("sparsemat.CSR(%dx%d, nnz=%d)", m.Rows, m.Cols, m.NNZ())
+}

@@ -1,0 +1,25 @@
+package stage
+
+import (
+	"testing"
+
+	"gopim/internal/graphgen"
+	"gopim/internal/reram"
+)
+
+func BenchmarkBuildProducts(b *testing.B) {
+	d, err := graphgen.ByName("products")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Chip:       reram.DefaultChip(),
+		Dataset:    d,
+		Deg:        d.SynthDegreeModel(1),
+		MicroBatch: 64,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(cfg)
+	}
+}

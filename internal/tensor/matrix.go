@@ -1,0 +1,364 @@
+// Package tensor provides the dense float64 matrix type and the small
+// set of linear-algebra operations GoPIM needs: matrix products,
+// element-wise maps, row/column reductions, and random initialisation.
+//
+// The package is deliberately minimal — it backs the GCN training
+// engine and the MLP time predictor, both of which only require dense
+// GEMM-style kernels. Sparse adjacency matrices live in package
+// sparsemat.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major float64 matrix.
+//
+// The zero value is an empty (0×0) matrix. Use New, NewFromRows, or the
+// random constructors for anything else.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the entries in row-major order: element (r, c) lives
+	// at Data[r*Cols+c]. Its length is always Rows*Cols.
+	Data []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewFromRows builds a matrix from a slice of equally sized rows.
+func NewFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", r, len(row), cols))
+		}
+		copy(m.Data[r*cols:(r+1)*cols], row)
+	}
+	return m
+}
+
+// NewRandom returns a rows×cols matrix with entries drawn uniformly
+// from [-scale, scale] using rng.
+func NewRandom(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// NewGlorot returns a rows×cols matrix initialised with the Glorot
+// (Xavier) uniform scheme, the standard initialisation for GCN and MLP
+// weight matrices.
+func NewGlorot(rng *rand.Rand, rows, cols int) *Matrix {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	return NewRandom(rng, rows, cols, limit)
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 {
+	m.check(r, c)
+	return m.Data[r*m.Cols+c]
+}
+
+// Set stores v at element (r, c).
+func (m *Matrix) Set(r, c int, v float64) {
+	m.check(r, c)
+	m.Data[r*m.Cols+c] = v
+}
+
+// Add accumulates v into element (r, c).
+func (m *Matrix) Add(r, c int, v float64) {
+	m.check(r, c)
+	m.Data[r*m.Cols+c] += v
+}
+
+func (m *Matrix) check(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %dx%d", r, c, m.Rows, m.Cols))
+	}
+}
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(r int) []float64 {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", r, m.Rows))
+	}
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// SetRow copies v into row r. len(v) must equal Cols.
+func (m *Matrix) SetRow(r int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow length %d != cols %d", len(v), m.Cols))
+	}
+	copy(m.Row(r), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom overwrites m's contents with src's. Dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every entry to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*out.Cols+r] = v
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b. Panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, reusing dst's storage.
+// dst must be a.Rows × b.Cols and must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: stream b rows for cache friendliness.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddInPlace computes m += other element-wise.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	m.sameShape(other, "AddInPlace")
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace computes m -= other element-wise.
+func (m *Matrix) SubInPlace(other *Matrix) {
+	m.sameShape(other, "SubInPlace")
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// MulInPlace computes m *= other element-wise (Hadamard product).
+func (m *Matrix) MulInPlace(other *Matrix) {
+	m.sameShape(other, "MulInPlace")
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every entry by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes m += s*other element-wise.
+func (m *Matrix) AXPY(s float64, other *Matrix) {
+	m.sameShape(other, "AXPY")
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+func (m *Matrix) sameShape(other *Matrix, op string) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// Apply replaces every entry x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Map returns a new matrix whose entries are f applied to m's entries.
+func (m *Matrix) Map(f func(float64) float64) *Matrix {
+	out := m.Clone()
+	out.Apply(f)
+	return out
+}
+
+// ReLU returns max(x, 0) applied element-wise as a new matrix.
+func (m *Matrix) ReLU() *Matrix {
+	return m.Map(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ReLUMask returns a matrix with 1 where m > 0 and 0 elsewhere —
+// the derivative of ReLU used during backpropagation.
+func (m *Matrix) ReLUMask() *Matrix {
+	return m.Map(func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// AddRowVector adds v to every row of m in place. len(v) must be Cols.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += v[c]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			sums[c] += v
+		}
+	}
+	return sums
+}
+
+// FrobeniusNorm returns sqrt(Σ x²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Equal reports whether m and other have identical shape and entries
+// within tolerance eps.
+func (m *Matrix) Equal(other *Matrix, eps float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("tensor.Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// ArgMaxRow returns the column index of the largest entry in row r.
+func (m *Matrix) ArgMaxRow(r int) int {
+	row := m.Row(r)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range row {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// SoftmaxRows returns a new matrix with a numerically stable softmax
+// applied to every row.
+func (m *Matrix) SoftmaxRows() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		orow := out.Row(r)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for c, v := range row {
+			e := math.Exp(v - max)
+			orow[c] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		for c := range orow {
+			orow[c] /= sum
+		}
+	}
+	return out
+}

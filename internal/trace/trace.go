@@ -1,0 +1,191 @@
+// Package trace is a discrete-event, replica-level pipeline simulator.
+//
+// The closed-form model in package pipeline treats r replicas of a
+// stage as dividing its per-micro-batch time by r — the paper's own
+// approximation (equation (6) with tᵢ/rᵢ). This package simulates the
+// alternative operational semantics explicitly: each replica is a
+// server with the full stage latency, micro-batches dispatch to the
+// earliest-free replica, and the dependency constraints of equations
+// (3)–(4) are enforced per event. Both models agree on steady-state
+// throughput (one micro-batch per tᵢ/rᵢ at the bottleneck), so the
+// trace validates the closed form and additionally yields a Gantt
+// chart and exact per-replica utilisation.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one stage execution of one micro-batch on one replica.
+type Event struct {
+	Stage      int
+	MicroBatch int
+	Replica    int
+	StartNS    float64
+	EndNS      float64
+}
+
+// Schedule is a complete simulated execution.
+type Schedule struct {
+	Events     []Event
+	MakespanNS float64
+	// StageBusyNS is total busy time per stage, summed over replicas.
+	StageBusyNS []float64
+	// Replicas echoes the input replica counts.
+	Replicas []int
+}
+
+// Input configures a trace simulation.
+type Input struct {
+	// TimesNS is each stage's full per-micro-batch latency (one
+	// replica's service time — NOT divided by the replica count).
+	TimesNS []float64
+	// Replicas is the number of servers per stage (≥ 1); nil = 1 each.
+	Replicas []int
+	// MicroBatches is the number of micro-batches to run.
+	MicroBatches int
+}
+
+// Simulate runs the event-level schedule.
+func Simulate(in Input) *Schedule {
+	n := len(in.TimesNS)
+	if n == 0 {
+		panic("trace: no stages")
+	}
+	if in.MicroBatches < 1 {
+		panic(fmt.Sprintf("trace: %d micro-batches", in.MicroBatches))
+	}
+	replicas := in.Replicas
+	if replicas == nil {
+		replicas = make([]int, n)
+		for i := range replicas {
+			replicas[i] = 1
+		}
+	}
+	if len(replicas) != n {
+		panic(fmt.Sprintf("trace: %d replica counts for %d stages", len(replicas), n))
+	}
+	for i, t := range in.TimesNS {
+		if t < 0 {
+			panic(fmt.Sprintf("trace: stage %d time %v negative", i, t))
+		}
+		if replicas[i] < 1 {
+			panic(fmt.Sprintf("trace: stage %d has %d replicas", i, replicas[i]))
+		}
+	}
+
+	// freeAt[i][k] is when replica k of stage i becomes free.
+	freeAt := make([][]float64, n)
+	for i := range freeAt {
+		freeAt[i] = make([]float64, replicas[i])
+	}
+	// done[i] is when stage i finished the previous micro-batch — the
+	// equation (4) in-order constraint (results must commit in order).
+	done := make([]float64, n)
+
+	sched := &Schedule{
+		StageBusyNS: make([]float64, n),
+		Replicas:    append([]int(nil), replicas...),
+	}
+	for j := 0; j < in.MicroBatches; j++ {
+		ready := 0.0 // end of previous stage for this micro-batch
+		for i := 0; i < n; i++ {
+			// Earliest-free replica.
+			k := 0
+			for r := 1; r < replicas[i]; r++ {
+				if freeAt[i][r] < freeAt[i][k] {
+					k = r
+				}
+			}
+			start := ready
+			if freeAt[i][k] > start {
+				start = freeAt[i][k]
+			}
+			end := start + in.TimesNS[i]
+			// Commit in order: a micro-batch's stage result is not
+			// visible before its predecessor's (prevents overtaking).
+			if end < done[i] {
+				end = done[i]
+			}
+			freeAt[i][k] = end
+			done[i] = end
+			ready = end
+			sched.Events = append(sched.Events, Event{
+				Stage: i, MicroBatch: j, Replica: k, StartNS: start, EndNS: end,
+			})
+			sched.StageBusyNS[i] += in.TimesNS[i]
+			if end > sched.MakespanNS {
+				sched.MakespanNS = end
+			}
+		}
+	}
+	return sched
+}
+
+// StageUtilization returns, per stage, busy time divided by
+// (makespan × replicas) — the exact counterpart of the paper's idle
+// percentages at replica granularity.
+func (s *Schedule) StageUtilization() []float64 {
+	out := make([]float64, len(s.StageBusyNS))
+	for i, busy := range s.StageBusyNS {
+		denom := s.MakespanNS * float64(s.Replicas[i])
+		if denom > 0 {
+			out[i] = busy / denom
+		}
+	}
+	return out
+}
+
+// EventsForStage returns the stage's events sorted by start time.
+func (s *Schedule) EventsForStage(stage int) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Stage == stage {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].StartNS < out[b].StartNS })
+	return out
+}
+
+// RenderGantt writes a text Gantt chart with the given number of time
+// columns. Each row is one stage; cell characters are the micro-batch
+// index mod 10 (blank = idle across all replicas).
+func (s *Schedule) RenderGantt(w io.Writer, columns int, names []string) error {
+	if columns < 1 {
+		columns = 60
+	}
+	if s.MakespanNS <= 0 {
+		_, err := io.WriteString(w, "(empty schedule)\n")
+		return err
+	}
+	scale := float64(columns) / s.MakespanNS
+	var b strings.Builder
+	for i := range s.StageBusyNS {
+		name := fmt.Sprintf("stage %d", i)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		row := make([]byte, columns)
+		for c := range row {
+			row[c] = ' '
+		}
+		for _, e := range s.EventsForStage(i) {
+			lo := int(e.StartNS * scale)
+			hi := int(e.EndNS * scale)
+			if hi >= columns {
+				hi = columns - 1
+			}
+			ch := byte('0' + e.MicroBatch%10)
+			for c := lo; c <= hi; c++ {
+				row[c] = ch
+			}
+		}
+		fmt.Fprintf(&b, "%-6s |%s|\n", name, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/pipeline"
+)
+
+func TestSingleStageSingleReplica(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{5}, MicroBatches: 4})
+	if s.MakespanNS != 20 {
+		t.Fatalf("makespan = %v, want 20", s.MakespanNS)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(s.Events))
+	}
+	for j, e := range s.EventsForStage(0) {
+		if e.StartNS != float64(j*5) || e.EndNS != float64((j+1)*5) {
+			t.Fatalf("event %d = %+v", j, e)
+		}
+	}
+}
+
+// With one replica everywhere, the trace must agree exactly with the
+// closed-form pipeline model.
+func TestMatchesClosedFormSingleReplica(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = rng.Float64() * 50
+		}
+		b := 1 + rng.Intn(40)
+		tr := Simulate(Input{TimesNS: times, MicroBatches: b})
+		cf := pipeline.ClosedFormTotal(times, b)
+		return math.Abs(tr.MakespanNS-cf) < 1e-6*cf+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With replicas, the trace's steady-state throughput matches the
+// closed form's t/r bottleneck: makespan within one pipeline fill of
+// Σtᵢ + (B−1)·max(tᵢ/rᵢ).
+func TestReplicaThroughputMatchesClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		times := make([]float64, n)
+		reps := make([]int, n)
+		eff := make([]float64, n)
+		for i := range times {
+			times[i] = 1 + rng.Float64()*30
+			reps[i] = 1 + rng.Intn(5)
+			eff[i] = times[i] / float64(reps[i])
+		}
+		b := 20 + rng.Intn(100)
+		tr := Simulate(Input{TimesNS: times, Replicas: reps, MicroBatches: b})
+		cf := pipeline.ClosedFormTotal(eff, b)
+		var fill float64
+		for _, t := range times {
+			fill += t // one full-latency pass bounds the fill/drain gap
+		}
+		return tr.MakespanNS >= cf-1e-9 && tr.MakespanNS <= cf+2*fill+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Events must never overlap on the same replica, and stage results
+// must commit in micro-batch order.
+func TestNoReplicaOverlapAndInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		times := make([]float64, n)
+		reps := make([]int, n)
+		for i := range times {
+			times[i] = 1 + rng.Float64()*10
+			reps[i] = 1 + rng.Intn(4)
+		}
+		s := Simulate(Input{TimesNS: times, Replicas: reps, MicroBatches: 1 + rng.Intn(30)})
+		// Group by (stage, replica) and check intervals are disjoint.
+		type key struct{ stage, rep int }
+		byRep := map[key][]Event{}
+		lastEnd := map[int]map[int]float64{} // stage → mb → end
+		for _, e := range s.Events {
+			byRep[key{e.Stage, e.Replica}] = append(byRep[key{e.Stage, e.Replica}], e)
+			if lastEnd[e.Stage] == nil {
+				lastEnd[e.Stage] = map[int]float64{}
+			}
+			lastEnd[e.Stage][e.MicroBatch] = e.EndNS
+		}
+		for _, evs := range byRep {
+			for a := 0; a < len(evs); a++ {
+				for b := a + 1; b < len(evs); b++ {
+					lo := math.Max(evs[a].StartNS, evs[b].StartNS)
+					hi := math.Min(evs[a].EndNS, evs[b].EndNS)
+					if hi-lo > 1e-9 {
+						return false // overlap
+					}
+				}
+			}
+		}
+		// In-order commit per stage.
+		for _, ends := range lastEnd {
+			prev := -1.0
+			for j := 0; j < len(ends); j++ {
+				if ends[j] < prev-1e-9 {
+					return false
+				}
+				prev = ends[j]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicasImproveMakespan(t *testing.T) {
+	times := []float64{1, 8}
+	base := Simulate(Input{TimesNS: times, MicroBatches: 32})
+	fast := Simulate(Input{TimesNS: times, Replicas: []int{1, 4}, MicroBatches: 32})
+	if fast.MakespanNS >= base.MakespanNS {
+		t.Fatalf("replicas must shorten the schedule: %v vs %v", fast.MakespanNS, base.MakespanNS)
+	}
+	util := fast.StageUtilization()
+	if util[1] <= util[0] {
+		t.Fatalf("bottleneck stage should stay busier: %v", util)
+	}
+	for _, u := range util {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("utilisation out of range: %v", util)
+		}
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{2, 4}, Replicas: []int{1, 2}, MicroBatches: 4})
+	var buf bytes.Buffer
+	if err := s.RenderGantt(&buf, 40, []string{"CO", "AG"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CO") || !strings.Contains(out, "AG") {
+		t.Fatalf("gantt missing stage names:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "3") {
+		t.Fatalf("gantt missing micro-batch marks:\n%s", out)
+	}
+	// Degenerate schedule renders gracefully.
+	var empty Schedule
+	var buf2 bytes.Buffer
+	if err := empty.RenderGantt(&buf2, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []func(){
+		func() { Simulate(Input{TimesNS: nil, MicroBatches: 1}) },
+		func() { Simulate(Input{TimesNS: []float64{1}, MicroBatches: 0}) },
+		func() { Simulate(Input{TimesNS: []float64{-1}, MicroBatches: 1}) },
+		func() { Simulate(Input{TimesNS: []float64{1}, Replicas: []int{0}, MicroBatches: 1}) },
+		func() { Simulate(Input{TimesNS: []float64{1}, Replicas: []int{1, 1}, MicroBatches: 1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
