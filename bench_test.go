@@ -8,7 +8,13 @@ package gopim
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+
+	"gopim/internal/parallel"
+	"gopim/internal/predictor"
+	"gopim/internal/sparsemat"
+	"gopim/internal/tensor"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -68,6 +74,88 @@ func BenchmarkSimulate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Serial-vs-pool benchmarks for the parallel kernels. "workers=1" is
+// the serial fallback; "workers=max" uses the default pool (GOMAXPROCS
+// or GOPIM_WORKERS). Output of every kernel is byte-identical across
+// the two, so these measure pure scheduling gain.
+
+func withWorkerCounts(b *testing.B, run func(b *testing.B)) {
+	b.Helper()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			parallel.SetWorkers(bc.workers)
+			defer parallel.SetWorkers(0)
+			run(b)
+		})
+	}
+}
+
+func BenchmarkGEMM256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewRandom(rng, 256, 256, 1)
+	y := tensor.NewRandom(rng, 256, 256, 1)
+	dst := tensor.New(256, 256)
+	withWorkerCounts(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(dst, x, y)
+		}
+	})
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, nnz, feats = 20_000, 200_000, 64
+	entries := make([]sparsemat.Entry, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		entries = append(entries, sparsemat.Entry{
+			Row: rng.Intn(n), Col: rng.Intn(n), Val: rng.NormFloat64(),
+		})
+	}
+	adj := sparsemat.NewFromEntries(n, n, entries)
+	h := tensor.NewRandom(rng, n, feats, 1)
+	withWorkerCounts(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := adj.MulDense(h); out.Rows != n {
+				b.Fatal("degenerate SpMM")
+			}
+		}
+	})
+}
+
+func BenchmarkProfileGeneration(b *testing.B) {
+	spec := predictor.ProfileSpec{Seed: 1, MaxVertices: 30_000}
+	withWorkerCounts(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(predictor.Generate(spec)) == 0 {
+				b.Fatal("no samples")
+			}
+		}
+	})
+}
+
+// BenchmarkAllExperimentsFast is `gopim all -fast`: the full evaluation
+// sweep fanned out across the pool (each iteration retrains the shared
+// predictor only on its first use, as the CLI does).
+func BenchmarkAllExperimentsFast(b *testing.B) {
+	ids := Experiments()
+	withWorkerCounts(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := RunExperiments(ids, ExperimentOptions{Seed: 1, Fast: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != len(ids) {
+				b.Fatalf("got %d results", len(results))
+			}
+		}
+	})
 }
 
 // Ablation benches for the design choices DESIGN.md calls out.

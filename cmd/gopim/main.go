@@ -16,6 +16,9 @@
 //	-seed N      random seed for synthetic graph generation (default 1)
 //	-fast        shrink workloads for a quick smoke run
 //	-format f    text, csv or markdown for experiment output
+//	-workers N   worker-pool size for parallel kernels and the
+//	             experiment fan-out (default: GOPIM_WORKERS env, else
+//	             GOMAXPROCS); output is identical at any worker count
 package main
 
 import (
@@ -36,8 +39,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for synthetic graph generation")
 	fast := flag.Bool("fast", false, "shrink workloads for a quick smoke run")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOPIM_WORKERS env, else GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
+
+	// Validate -format up front: under `gopim all` a typo must fail
+	// before the first experiment runs, not after it.
+	outFormat, err := experiments.ParseFormat(*format)
+	if err != nil {
+		fatal(err.Error())
+	}
+	gopim.SetWorkers(*workers)
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -52,7 +64,7 @@ func main() {
 			fmt.Println(id)
 		}
 	case "all":
-		runExperiments(gopim.Experiments(), opt, experiments.Format(*format))
+		runExperiments(gopim.Experiments(), opt, outFormat)
 	case "compare":
 		if len(args) != 2 {
 			fatal("usage: gopim compare <dataset>")
@@ -86,16 +98,19 @@ func main() {
 			fatal(err.Error())
 		}
 	default:
-		runExperiments(args, opt, experiments.Format(*format))
+		runExperiments(args, opt, outFormat)
 	}
 }
 
+// runExperiments fans the experiments out across the worker pool and
+// renders the results in the order the ids were given, so output is
+// byte-identical at any worker count.
 func runExperiments(ids []string, opt gopim.ExperimentOptions, format experiments.Format) {
-	for _, id := range ids {
-		res, err := gopim.RunExperiment(id, opt)
-		if err != nil {
-			fatal(err.Error())
-		}
+	results, err := gopim.RunExperiments(ids, opt)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for _, res := range results {
 		if err := res.RenderAs(os.Stdout, format); err != nil {
 			fatal(err.Error())
 		}

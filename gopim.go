@@ -25,6 +25,7 @@ import (
 	"gopim/internal/accel"
 	"gopim/internal/experiments"
 	"gopim/internal/graphgen"
+	"gopim/internal/parallel"
 	"gopim/internal/reram"
 )
 
@@ -129,3 +130,17 @@ func Experiments() []string { return experiments.IDs() }
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
 	return experiments.Run(id, opt)
 }
+
+// RunExperiments regenerates several artifacts concurrently on the
+// worker pool and returns the results in the order the ids were given,
+// so rendered output is identical at any worker count. Unknown ids
+// fail before anything runs.
+func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentResult, error) {
+	return experiments.RunAll(ids, opt)
+}
+
+// SetWorkers overrides the worker-pool size every parallel kernel and
+// experiment fan-out runs at (the CLI's -workers flag). n < 1 restores
+// the default: GOPIM_WORKERS if set, else GOMAXPROCS. Output is
+// deterministic for a fixed seed regardless of this setting.
+func SetWorkers(n int) { parallel.SetWorkers(n) }

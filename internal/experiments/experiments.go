@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"gopim/internal/parallel"
 )
 
 // Options tunes an experiment run.
@@ -39,6 +41,30 @@ type Result struct {
 	Notes []string
 }
 
+// columns returns the table's column count: the header width, widened
+// to the longest row. Every renderer lays out exactly this many cells
+// per row, padding missing ones with empty strings, so ragged results
+// render consistently (and without panics) in all three formats.
+func (r *Result) columns() int {
+	n := len(r.Header)
+	for _, row := range r.Rows {
+		if len(row) > n {
+			n = len(row)
+		}
+	}
+	return n
+}
+
+// padCells returns cells extended with empty strings to length n.
+func padCells(cells []string, n int) []string {
+	if len(cells) >= n {
+		return cells
+	}
+	out := make([]string, n)
+	copy(out, cells)
+	return out
+}
+
 // Render writes the result as an aligned text table.
 func (r *Result) Render(w io.Writer) error {
 	var b strings.Builder
@@ -46,19 +72,20 @@ func (r *Result) Render(w io.Writer) error {
 	if r.Paper != "" {
 		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
 	}
-	widths := make([]int, len(r.Header))
+	ncols := r.columns()
+	widths := make([]int, ncols)
 	for i, h := range r.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range r.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
 	}
 	line := func(cells []string) {
-		for i, c := range cells {
+		for i, c := range padCells(cells, ncols) {
 			if i > 0 {
 				b.WriteString("  ")
 			}
@@ -116,6 +143,42 @@ func Run(id string, opt Options) (*Result, error) {
 			id, strings.Join(IDs(), ", "))
 	}
 	return r(opt)
+}
+
+// RunAll executes the given experiments concurrently — each harness
+// takes only its Options and derives every RNG from opt.Seed, so the
+// fan-out is embarrassingly parallel — and returns results in the
+// order the ids were given. Unknown ids fail before anything runs.
+// Because results are collected by index and every harness is
+// deterministic for a fixed seed, RunAll's output is identical at any
+// worker count.
+//
+// On harness error the first error in id order is returned along with
+// the results that did succeed (failed slots are nil).
+func RunAll(ids []string, opt Options) ([]*Result, error) {
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+				id, strings.Join(IDs(), ", "))
+		}
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outs := parallel.Map(len(ids), func(i int) outcome {
+		res, err := Run(ids[i], opt)
+		return outcome{res: res, err: err}
+	})
+	results := make([]*Result, len(ids))
+	var firstErr error
+	for i, o := range outs {
+		results[i] = o.res
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: %s: %w", ids[i], o.err)
+		}
+	}
+	return results, firstErr
 }
 
 // fmtX formats a speedup/ratio like the paper ("12.3x").

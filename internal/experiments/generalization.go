@@ -44,28 +44,11 @@ func generalization(opt Options) (*Result, error) {
 
 	var accSum float64
 	var accN int
-	for _, heldOut := range folds {
-		trainSpec := spec
-		trainSpec.Datasets = nil
-		for _, d := range catalog {
-			if d.Name != heldOut.Name {
-				trainSpec.Datasets = append(trainSpec.Datasets, d)
-			}
-		}
-		testSpec := spec
-		testSpec.Datasets = []graphgen.Dataset{heldOut}
-
-		p := predictor.NewTimePredictor()
-		p.Train(predictor.Generate(trainSpec))
-		test := predictor.Generate(testSpec)
-		acc := 1 - p.MeanRelativeError(test)
-		if acc < 0 {
-			acc = 0
-		}
-		accSum += acc
+	for _, fold := range predictor.LeaveOneOut(spec, catalog, folds) {
+		accSum += fold.Accuracy
 		accN++
 		res.Rows = append(res.Rows, []string{
-			heldOut.Name, fmtPct(acc), fmt.Sprintf("%d", len(test)),
+			fold.Dataset, fmtPct(fold.Accuracy), fmt.Sprintf("%d", fold.TestSamples),
 		})
 	}
 	if accN > 0 {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"gopim/internal/accel"
 	"gopim/internal/graphgen"
@@ -98,19 +99,28 @@ func fig9(opt Options) (*Result, error) {
 	return res, nil
 }
 
-// sharedPredictors caches one trained time predictor per mode so that
-// tab7 and the CLI's "all" run don't retrain repeatedly.
-var sharedPredictors = map[bool]*predictor.TimePredictor{}
+// sharedPredictors caches one trained time predictor per (mode, seed)
+// so that tab7 and the CLI's "all" run don't retrain repeatedly. The
+// mutex makes the cache safe under RunAll's concurrent fan-out; it is
+// held across training so concurrent experiments share one training
+// run instead of racing to duplicate it.
+var (
+	sharedPredictorsMu sync.Mutex
+	sharedPredictors   = map[Options]*predictor.TimePredictor{}
+)
 
 // trainSharedPredictor trains (or reuses) the MLP time predictor on
-// the profile sweep.
+// the profile sweep. The trained predictor is read-only and safe for
+// concurrent Predict calls.
 func trainSharedPredictor(opt Options) *predictor.TimePredictor {
-	if p, ok := sharedPredictors[opt.Fast]; ok {
+	sharedPredictorsMu.Lock()
+	defer sharedPredictorsMu.Unlock()
+	if p, ok := sharedPredictors[opt]; ok {
 		return p
 	}
 	p := predictor.NewTimePredictor()
 	p.Train(predictor.Generate(profileSpec(opt)))
-	sharedPredictors[opt.Fast] = p
+	sharedPredictors[opt] = p
 	return p
 }
 

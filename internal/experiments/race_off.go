@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled: see race_on.go.
+const raceDetectorEnabled = false

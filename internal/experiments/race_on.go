@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this binary was built with the
+// race detector. The test sweep uses it to skip harnesses whose
+// minutes of MLP/GCN training would blow the per-package test timeout
+// under the ~10× detector slowdown; the underlying parallel kernels
+// are still race-exercised by the cheaper tests and by the kernels'
+// own packages.
+const raceDetectorEnabled = true

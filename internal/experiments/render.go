@@ -18,12 +18,13 @@ func (r *Result) RenderCSV(w io.Writer) error {
 			return err
 		}
 	}
+	ncols := r.columns()
 	cw := csv.NewWriter(w)
-	if err := cw.Write(r.Header); err != nil {
+	if err := cw.Write(padCells(r.Header, ncols)); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(padCells(row, ncols)); err != nil {
 			return err
 		}
 	}
@@ -48,16 +49,15 @@ func (r *Result) RenderMarkdown(w io.Writer) error {
 		}
 		b.WriteByte('\n')
 	}
-	writeRow(r.Header)
-	sep := make([]string, len(r.Header))
+	ncols := r.columns()
+	writeRow(padCells(r.Header, ncols))
+	sep := make([]string, ncols)
 	for i := range sep {
 		sep[i] = "---"
 	}
 	writeRow(sep)
 	for _, row := range r.Rows {
-		padded := make([]string, len(r.Header))
-		copy(padded, row)
-		writeRow(padded)
+		writeRow(padCells(row, ncols))
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "\n> %s\n", n)
@@ -77,16 +77,33 @@ const (
 	FormatMarkdown Format = "markdown"
 )
 
+// ParseFormat resolves a format name ("" and "md" are aliases for
+// text and markdown). The CLI calls it before running anything so an
+// invalid -format fails fast instead of after the first experiment.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, "":
+		return FormatText, nil
+	case FormatCSV:
+		return FormatCSV, nil
+	case FormatMarkdown, "md":
+		return FormatMarkdown, nil
+	}
+	return "", fmt.Errorf("experiments: unknown format %q (text, csv, markdown)", s)
+}
+
 // RenderAs dispatches on the format name.
 func (r *Result) RenderAs(w io.Writer, f Format) error {
-	switch f {
-	case FormatText, "":
-		return r.Render(w)
+	ff, err := ParseFormat(string(f))
+	if err != nil {
+		return err
+	}
+	switch ff {
 	case FormatCSV:
 		return r.RenderCSV(w)
-	case FormatMarkdown, "md":
+	case FormatMarkdown:
 		return r.RenderMarkdown(w)
 	default:
-		return fmt.Errorf("experiments: unknown format %q (text, csv, markdown)", f)
+		return r.Render(w)
 	}
 }

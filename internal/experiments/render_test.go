@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gopim/internal/parallel"
+)
+
+// raggedResult has one row wider than the header and one narrower —
+// the shapes that used to panic Render (unguarded widths[i]) and be
+// silently truncated by RenderMarkdown.
+func raggedResult() *Result {
+	return &Result{
+		ID:     "ragged",
+		Title:  "ragged fixture",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"r1c1", "r1c2"},
+			{"r2c1", "r2c2", "r2c3-extra"},
+			{"r3c1"},
+		},
+		Notes: []string{"ragged rows must render in every format"},
+	}
+}
+
+// TestRenderRaggedRowNoPanic is the regression test for the Render
+// line() closure indexing widths[i] out of range on rows with more
+// cells than the header.
+func TestRenderRaggedRowNoPanic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := raggedResult().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "r2c3-extra") {
+		t.Fatalf("text renderer dropped the extra cell:\n%s", buf.String())
+	}
+}
+
+// TestRenderersAgreeOnRaggedRows checks all three renderers keep every
+// cell of a ragged row and lay out the same column count.
+func TestRenderersAgreeOnRaggedRows(t *testing.T) {
+	res := raggedResult()
+	if res.columns() != 3 {
+		t.Fatalf("columns() = %d, want 3", res.columns())
+	}
+
+	var text, csvb, md bytes.Buffer
+	if err := res.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderCSV(&csvb); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"text": text.String(), "csv": csvb.String(), "markdown": md.String(),
+	} {
+		if !strings.Contains(out, "r2c3-extra") {
+			t.Fatalf("%s renderer dropped the extra cell:\n%s", name, out)
+		}
+	}
+	// CSV: every record padded to the widened column count.
+	for _, line := range strings.Split(strings.TrimSpace(csvb.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if got := strings.Count(line, ","); got != 2 {
+			t.Fatalf("csv record %q has %d commas, want 2", line, got)
+		}
+	}
+	// Markdown: header, separator and every row share the cell count.
+	for _, line := range strings.Split(strings.TrimSpace(md.String()), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		if got := strings.Count(line, "|"); got != 4 {
+			t.Fatalf("markdown row %q has %d pipes, want 4", line, got)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"": FormatText, "text": FormatText, "csv": FormatCSV,
+		"markdown": FormatMarkdown, "md": FormatMarkdown,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil ||
+		!strings.Contains(err.Error(), "text, csv, markdown") {
+		t.Fatalf("ParseFormat(xml) = %v, want error naming supported formats", err)
+	}
+}
+
+func TestRunAllOrderAndErrors(t *testing.T) {
+	ids := []string{"fig7", "fig5"}
+	results, err := RunAll(ids, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "fig7" || results[1].ID != "fig5" {
+		t.Fatalf("results out of order: %v", results)
+	}
+	if _, err := RunAll([]string{"fig7", "nope"}, fastOpt); err == nil {
+		t.Fatal("unknown id must fail before anything runs")
+	}
+}
+
+// TestFig13BytesIdenticalAcrossWorkers pins the headline determinism
+// guarantee: the rendered fig13 table is byte-identical whether the
+// whole stack (GEMM, SpMM, profiles, fan-out) runs on 1, 2 or 8
+// workers.
+func TestFig13BytesIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full fast-mode fig13 three times")
+	}
+	render := func(w int) string {
+		parallel.SetWorkers(w)
+		defer parallel.SetWorkers(0)
+		res, err := Run("fig13", fastOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	base := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != base {
+			t.Fatalf("fig13 output differs at workers=%d:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, base, w, got)
+		}
+	}
+}

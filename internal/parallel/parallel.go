@@ -1,0 +1,184 @@
+// Package parallel is GoPIM's deterministic worker-pool layer: a
+// bounded pool of goroutines sized by GOMAXPROCS (overridable with
+// SetWorkers or the GOPIM_WORKERS environment variable) behind two
+// primitives — For, a blocked parallel-for over an index range, and
+// Map, an ordered fan-out that collects results in input order.
+//
+// Determinism contract: both primitives partition work by index, so a
+// result only ever depends on its own index, never on which worker
+// computed it or on how many workers exist. Callers that keep
+// per-index work independent (disjoint output rows, per-index derived
+// RNG seeds) therefore produce byte-identical output at any worker
+// count, including the serial fallback. Every hot kernel in tensor,
+// sparsemat, predictor and experiments is written against that
+// contract; determinism tests in those packages pin it.
+//
+// The pool is bounded globally: nested For/Map calls (an experiment
+// fan-out whose GCN training calls parallel GEMM, say) never stack
+// worker goroutines multiplicatively. Helper goroutines are acquired
+// with a try-acquire against one process-wide budget, and the calling
+// goroutine always participates in its own loop, so a nested call that
+// finds the budget exhausted simply degrades to the serial path — it
+// can never deadlock.
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// overrideWorkers holds the SetWorkers value; 0 means "not set".
+var overrideWorkers atomic.Int32
+
+// envWorkers caches the GOPIM_WORKERS value, parsed once.
+var (
+	envOnce    sync.Once
+	envWorkers int
+)
+
+func envWorkerCount() int {
+	envOnce.Do(func() {
+		v := os.Getenv("GOPIM_WORKERS")
+		if v == "" {
+			return
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "gopim: ignoring invalid GOPIM_WORKERS=%q\n", v)
+			return
+		}
+		envWorkers = n
+	})
+	return envWorkers
+}
+
+// Workers returns the worker count parallel kernels run at:
+// the SetWorkers override if set, else GOPIM_WORKERS if set,
+// else GOMAXPROCS.
+func Workers() int {
+	if n := overrideWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	if n := envWorkerCount(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count (the CLI's -workers flag).
+// n < 1 removes the override.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	overrideWorkers.Store(int32(n))
+}
+
+// helpers counts live helper goroutines across every concurrent
+// For/Map in the process — the global pool bound.
+var helpers atomic.Int64
+
+func tryAcquireHelper() bool {
+	limit := int64(Workers())
+	for {
+		cur := helpers.Load()
+		if cur >= limit {
+			return false
+		}
+		if helpers.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseHelper() { helpers.Add(-1) }
+
+// For runs body over [0, n) split into contiguous blocks of at most
+// grain indices. Blocks are claimed from a shared counter by up to
+// Workers() goroutines (the caller included); with one worker, or when
+// n ≤ grain, body runs once on the caller as body(0, n) — the serial
+// fallback.
+//
+// body must treat [lo, hi) as exclusively owned. A panic in any block
+// is re-raised on the caller after all workers drain.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	w := Workers()
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		aborted  atomic.Bool
+		panicMu  sync.Mutex
+		panicked any
+	)
+	loop := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+				aborted.Store(true)
+			}
+		}()
+		for !aborted.Load() {
+			b := next.Add(1) - 1
+			if b >= int64(blocks) {
+				return
+			}
+			lo := int(b) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 1; i < w && tryAcquireHelper(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer releaseHelper()
+			loop()
+		}()
+	}
+	loop()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn for every index in [0, n) and returns the results in
+// input order regardless of worker count or scheduling. Each index is
+// its own block (grain 1), so Map suits coarse tasks — experiments,
+// leave-one-out folds, profile units — not tight numeric loops.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f under a fixed worker count and restores the
+// default afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestWorkersOverride(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want ≥ 1", Workers())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w, func() {
+			const n = 1000
+			var hits [n]atomic.Int32
+			For(n, 7, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad block [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d: index %d visited %d times", w, i, hits[i].Load())
+				}
+			}
+		})
+	}
+}
+
+func TestForEmptyAndSerialFallback(t *testing.T) {
+	For(0, 4, func(lo, hi int) { t.Fatal("body must not run for n=0") })
+	For(-3, 4, func(lo, hi int) { t.Fatal("body must not run for n<0") })
+	calls := 0
+	withWorkers(t, 8, func() {
+		For(3, 10, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != 3 {
+				t.Fatalf("serial fallback got [%d,%d)", lo, hi)
+			}
+		})
+	})
+	if calls != 1 {
+		t.Fatalf("serial fallback ran body %d times", calls)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w, func() {
+			out := Map(100, func(i int) int { return i * i })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", w, r)
+				}
+			}()
+			For(64, 1, func(lo, hi int) {
+				if lo <= 13 && 13 < hi {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: For returned instead of panicking", w)
+		})
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var total atomic.Int64
+		For(8, 1, func(lo, hi int) {
+			For(100, 10, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		})
+		if total.Load() != 800 {
+			t.Fatalf("nested total = %d, want 800", total.Load())
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package predictor
+
+import (
+	"gopim/internal/graphgen"
+	"gopim/internal/parallel"
+)
+
+// LOOFold is one leave-one-out generalisation fold: the predictor is
+// trained on every catalog dataset except Dataset and evaluated on
+// Dataset's profile samples (paper §VII-G).
+type LOOFold struct {
+	Dataset string
+	// Accuracy is 1 − mean relative error, clamped at 0.
+	Accuracy    float64
+	TestSamples int
+}
+
+// LeaveOneOut runs one fold per entry of folds: train on spec with
+// every dataset of catalog except the held-out one, test on the
+// held-out one. Folds are independent (each derives its own profile
+// streams from spec.Seed) and run concurrently; results come back in
+// fold order, so the sweep is deterministic at any worker count.
+func LeaveOneOut(spec ProfileSpec, catalog, folds []graphgen.Dataset) []LOOFold {
+	return parallel.Map(len(folds), func(i int) LOOFold {
+		heldOut := folds[i]
+		trainSpec := spec
+		trainSpec.Datasets = nil
+		for _, d := range catalog {
+			if d.Name != heldOut.Name {
+				trainSpec.Datasets = append(trainSpec.Datasets, d)
+			}
+		}
+		testSpec := spec
+		testSpec.Datasets = []graphgen.Dataset{heldOut}
+
+		p := NewTimePredictor()
+		p.Train(Generate(trainSpec))
+		test := Generate(testSpec)
+		acc := 1 - p.MeanRelativeError(test)
+		if acc < 0 {
+			acc = 0
+		}
+		return LOOFold{Dataset: heldOut.Name, Accuracy: acc, TestSamples: len(test)}
+	})
+}

@@ -1,0 +1,83 @@
+package predictor
+
+import (
+	"testing"
+
+	"gopim/internal/parallel"
+)
+
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	f()
+}
+
+// TestGenerateDeterministicAcrossWorkers pins the profile-generation
+// determinism contract: every (dataset, scale) unit derives its own
+// RNG stream from the spec seed, so the sample list is identical
+// whether units run serially or fan out.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	var base []Sample
+	withWorkers(t, 1, func() { base = Generate(testSpec()) })
+	for _, w := range []int{2, 8} {
+		withWorkers(t, w, func() {
+			got := Generate(testSpec())
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d: %d samples vs %d", w, len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d: sample %d = %+v, serial %+v", w, i, got[i], base[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRMSEDeterministicAcrossWorkers trains the cheap linear family on
+// worker-count-independent profiles and checks the RMSE is bit-equal
+// across worker counts — the predictor-level determinism guarantee.
+func TestRMSEDeterministicAcrossWorkers(t *testing.T) {
+	rmseAt := func(w int) float64 {
+		var rmse float64
+		withWorkers(t, w, func() {
+			samples := Generate(testSpec())
+			train, test := SplitTrainTest(samples, 0.2)
+			rmse = ModelRMSE(func() Regressor { return NewLinear() }, train, test)
+		})
+		return rmse
+	}
+	base := rmseAt(1)
+	if base <= 0 {
+		t.Fatalf("degenerate baseline RMSE %v", base)
+	}
+	for _, w := range []int{2, 8} {
+		if got := rmseAt(w); got != base {
+			t.Fatalf("workers=%d: RMSE %v, serial %v", w, got, base)
+		}
+	}
+}
+
+// TestLeaveOneOutShape checks the parallel fold sweep covers each fold
+// once, in order, with sane accuracies.
+func TestLeaveOneOutShape(t *testing.T) {
+	spec := testSpec()
+	catalog := spec.Datasets
+	spec.Datasets = nil
+	folds := LeaveOneOut(spec, catalog, catalog[:2])
+	if len(folds) != 2 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	for i, f := range folds {
+		if f.Dataset != catalog[i].Name {
+			t.Fatalf("fold %d = %s, want %s (input order)", i, f.Dataset, catalog[i].Name)
+		}
+		if f.Accuracy < 0 || f.Accuracy > 1 {
+			t.Fatalf("fold %s accuracy %v out of [0,1]", f.Dataset, f.Accuracy)
+		}
+		if f.TestSamples == 0 {
+			t.Fatalf("fold %s has no test samples", f.Dataset)
+		}
+	}
+}

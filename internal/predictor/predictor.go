@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"gopim/internal/parallel"
 	"gopim/internal/stage"
 )
 
@@ -239,13 +240,14 @@ func MLPWithWidth(width int) *MLP {
 // (replaced by a constant, so the model cannot use it) and report the
 // test RMSE for each ablation alongside the full-feature baseline.
 // A large RMSE jump means the feature must be kept.
+// Each per-feature retrain is independent (models seed themselves), so
+// the sweep fans out across workers with results in feature order.
 func FeatureAblation(newModel func() Regressor, train, test []Sample) (baseline float64, ablated [NumFeatures]float64) {
 	baseline = ModelRMSE(newModel, train, test)
-	for f := 0; f < NumFeatures; f++ {
-		blindTrain := blindFeature(train, f)
-		blindTest := blindFeature(test, f)
-		ablated[f] = ModelRMSE(newModel, blindTrain, blindTest)
-	}
+	res := parallel.Map(NumFeatures, func(f int) float64 {
+		return ModelRMSE(newModel, blindFeature(train, f), blindFeature(test, f))
+	})
+	copy(ablated[:], res)
 	return baseline, ablated
 }
 

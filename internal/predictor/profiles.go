@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"gopim/internal/graphgen"
+	"gopim/internal/parallel"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
 )
@@ -61,12 +62,31 @@ func (s *ProfileSpec) defaults() {
 	}
 }
 
+// unitSeed derives the RNG seed of profile unit i from the spec seed
+// with a splitmix64-style mix, so each (dataset, scale) unit owns an
+// independent deterministic stream. Because the stream depends only on
+// (spec.Seed, i) — never on which worker runs the unit or in what
+// order — Generate's output is identical at any worker count.
+func unitSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Generate produces the profile dataset by sweeping the spec's axes
-// through the timing simulator.
+// through the timing simulator. Units — one per (dataset, scale) pair,
+// covering that pair's full hidden-width × micro-batch sweep — run in
+// parallel and are concatenated in sweep order, so the sample list is
+// deterministic for a given seed regardless of worker count.
 func Generate(spec ProfileSpec) []Sample {
 	spec.defaults()
-	var samples []Sample
-	rng := rand.New(rand.NewSource(spec.Seed))
+	type unit struct {
+		ds   graphgen.Dataset
+		n    int
+		seed int64
+	}
+	units := make([]unit, 0, len(spec.Datasets)*len(spec.Scales))
 	for _, d := range spec.Datasets {
 		for _, scale := range spec.Scales {
 			n := int(float64(d.PaperVertices) * scale)
@@ -76,29 +96,40 @@ func Generate(spec ProfileSpec) []Sample {
 			if n < 64 {
 				n = 64
 			}
-			deg := graphgen.NewDegreeModel(
-				graphgen.PowerLawWeights(rng, n, d.PaperAvgDeg, graphgen.PowerLawAlpha))
-			for _, hidden := range spec.HiddenWidths {
-				ds := d
-				ds.HiddenCh = hidden
-				for _, mb := range spec.MicroBatches {
-					cfg := stage.Config{
-						Chip:       spec.Chip,
-						Dataset:    ds,
-						Deg:        deg,
-						MicroBatch: mb,
-					}
-					ws := ProfileWorkload(cfg)
-					for i := range ws {
-						ws[i].TimeNS *= 1 + spec.NoiseFrac*rng.NormFloat64()
-						if ws[i].TimeNS <= 0 {
-							ws[i].TimeNS = 1
-						}
-					}
-					samples = append(samples, ws...)
+			units = append(units, unit{ds: d, n: n, seed: unitSeed(spec.Seed, len(units))})
+		}
+	}
+	perUnit := parallel.Map(len(units), func(i int) []Sample {
+		u := units[i]
+		rng := rand.New(rand.NewSource(u.seed))
+		deg := graphgen.NewDegreeModel(
+			graphgen.PowerLawWeights(rng, u.n, u.ds.PaperAvgDeg, graphgen.PowerLawAlpha))
+		var samples []Sample
+		for _, hidden := range spec.HiddenWidths {
+			ds := u.ds
+			ds.HiddenCh = hidden
+			for _, mb := range spec.MicroBatches {
+				cfg := stage.Config{
+					Chip:       spec.Chip,
+					Dataset:    ds,
+					Deg:        deg,
+					MicroBatch: mb,
 				}
+				ws := ProfileWorkload(cfg)
+				for i := range ws {
+					ws[i].TimeNS *= 1 + spec.NoiseFrac*rng.NormFloat64()
+					if ws[i].TimeNS <= 0 {
+						ws[i].TimeNS = 1
+					}
+				}
+				samples = append(samples, ws...)
 			}
 		}
+		return samples
+	})
+	var samples []Sample
+	for _, s := range perUnit {
+		samples = append(samples, s...)
 	}
 	return samples
 }

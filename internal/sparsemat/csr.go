@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"gopim/internal/parallel"
 	"gopim/internal/tensor"
 )
 
@@ -104,23 +105,44 @@ func (m *CSR) Sparsity() float64 {
 	return 1 - float64(m.NNZ())/total
 }
 
+// spmmParallelMinFLOPs is the multiply-add count below which MulDense
+// stays serial; tiny aggregations are cheaper than a fork/join.
+const spmmParallelMinFLOPs = 1 << 15
+
 // MulDense returns m · d as a dense matrix. m.Cols must equal d.Rows.
+//
+// Large products (GCN aggregation Â·H) run row-parallel: each worker
+// owns a contiguous block of output rows and accumulates each row in
+// stored-column order exactly as the serial loop does, so the result
+// is byte-identical at any worker count.
 func (m *CSR) MulDense(d *tensor.Matrix) *tensor.Matrix {
 	if m.Cols != d.Rows {
 		panic(fmt.Sprintf("sparsemat: MulDense inner dims %d != %d", m.Cols, d.Rows))
 	}
 	out := tensor.New(m.Rows, d.Cols)
-	for r := 0; r < m.Rows; r++ {
-		cols, vals := m.Row(r)
-		orow := out.Row(r)
-		for i, c := range cols {
-			v := vals[i]
-			drow := d.Row(c)
-			for j, dv := range drow {
-				orow[j] += v * dv
+	rows := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			cols, vals := m.Row(r)
+			orow := out.Row(r)
+			for i, c := range cols {
+				v := vals[i]
+				drow := d.Row(c)
+				for j, dv := range drow {
+					orow[j] += v * dv
+				}
 			}
 		}
 	}
+	if m.NNZ()*d.Cols < spmmParallelMinFLOPs {
+		rows(0, m.Rows)
+		return out
+	}
+	// Size blocks by average row cost; power-law rows are imbalanced,
+	// but blocks are claimed dynamically so dense rows just slow their
+	// own block, never the partitioning.
+	avgFlopsPerRow := m.NNZ()*d.Cols/m.Rows + 1
+	grain := spmmParallelMinFLOPs / (4 * avgFlopsPerRow)
+	parallel.For(m.Rows, grain+1, rows)
 	return out
 }
 
@@ -195,24 +217,31 @@ func (m *CSR) SymNormalized() *CSR {
 		entries = append(entries, Entry{Row: r, Col: r, Val: 1}) // self loop
 	}
 	withLoops := NewFromEntries(n, n, entries)
+	// Both passes are per-row independent — deg[r] and row r's values
+	// are owned by exactly one worker — so the normalisation is
+	// byte-identical at any worker count.
 	deg := make([]float64, n)
-	for r := 0; r < n; r++ {
-		_, vals := withLoops.Row(r)
-		for _, v := range vals {
-			deg[r] += v
-		}
-	}
-	out := withLoops.clone()
-	for r := 0; r < n; r++ {
-		start, end := out.RowPtr[r], out.RowPtr[r+1]
-		dr := math.Sqrt(deg[r])
-		for i := start; i < end; i++ {
-			dc := math.Sqrt(deg[out.ColIdx[i]])
-			if dr > 0 && dc > 0 {
-				out.Val[i] /= dr * dc
+	parallel.For(n, 4096, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			_, vals := withLoops.Row(r)
+			for _, v := range vals {
+				deg[r] += v
 			}
 		}
-	}
+	})
+	out := withLoops.clone()
+	parallel.For(n, 4096, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			start, end := out.RowPtr[r], out.RowPtr[r+1]
+			dr := math.Sqrt(deg[r])
+			for i := start; i < end; i++ {
+				dc := math.Sqrt(deg[out.ColIdx[i]])
+				if dr > 0 && dc > 0 {
+					out.Val[i] /= dr * dc
+				}
+			}
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,58 @@
+package sparsemat
+
+import (
+	"math/rand"
+	"testing"
+
+	"gopim/internal/parallel"
+	"gopim/internal/tensor"
+)
+
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	f()
+}
+
+// TestMulDenseDeterministicAcrossWorkers pins the SpMM determinism
+// contract: serial and parallel aggregation produce identical bytes.
+func TestMulDenseDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 400, 400, 5000)
+	d := tensor.NewRandom(rng, 400, 32, 1)
+	var base *tensor.Matrix
+	withWorkers(t, 1, func() { base = m.MulDense(d) })
+	for _, w := range []int{2, 8} {
+		withWorkers(t, w, func() {
+			got := m.MulDense(d)
+			for i := range base.Data {
+				if got.Data[i] != base.Data[i] {
+					t.Fatalf("workers=%d: entry %d = %v, serial %v", w, i, got.Data[i], base.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSymNormalizedDeterministicAcrossWorkers does the same for the
+// GCN adjacency normalisation.
+func TestSymNormalizedDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomCSR(rng, 500, 500, 4000)
+	var base *CSR
+	withWorkers(t, 1, func() { base = m.SymNormalized() })
+	for _, w := range []int{2, 8} {
+		withWorkers(t, w, func() {
+			got := m.SymNormalized()
+			if len(got.Val) != len(base.Val) {
+				t.Fatalf("workers=%d: nnz %d vs %d", w, len(got.Val), len(base.Val))
+			}
+			for i := range base.Val {
+				if got.Val[i] != base.Val[i] || got.ColIdx[i] != base.ColIdx[i] {
+					t.Fatalf("workers=%d: entry %d differs", w, i)
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gopim/internal/parallel"
 )
 
 // Matrix is a dense, row-major float64 matrix.
@@ -130,15 +132,35 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// T returns the transpose of m as a new matrix.
+// transposeParallelMin is the element count below which T stays on the
+// serial gather loop; tiny transposes are dominated by goroutine
+// handoff, not copying.
+const transposeParallelMin = 1 << 14
+
+// T returns the transpose of m as a new matrix. Large matrices gather
+// in parallel, one block of output rows per worker; each output row is
+// written by exactly one worker, so the result is identical at any
+// worker count.
 func (m *Matrix) T() *Matrix {
 	out := New(m.Cols, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		for c, v := range row {
-			out.Data[c*out.Cols+r] = v
+	if m.Rows*m.Cols < transposeParallelMin {
+		for r := 0; r < m.Rows; r++ {
+			row := m.Row(r)
+			for c, v := range row {
+				out.Data[c*out.Cols+r] = v
+			}
 		}
+		return out
 	}
+	grain := transposeParallelMin / (m.Rows + 1)
+	parallel.For(m.Cols, grain+1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			orow := out.Row(c)
+			for r := 0; r < m.Rows; r++ {
+				orow[r] = m.Data[r*m.Cols+c]
+			}
+		}
+	})
 	return out
 }
 
@@ -152,8 +174,28 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// aliases reports whether two matrices share storage. All Matrix
+// values own their whole Data slice (every constructor allocates with
+// make), so shared storage always means the slices start at the same
+// element.
+func aliases(x, y *Matrix) bool {
+	return len(x.Data) > 0 && len(y.Data) > 0 && &x.Data[0] == &y.Data[0]
+}
+
+// matmulParallelMinFLOPs is the multiply-add count below which
+// MatMulInto stays on the serial kernel; the MLP predictor issues
+// thousands of tiny batch-16 GEMMs where fork/join overhead would
+// swamp the arithmetic.
+const matmulParallelMinFLOPs = 1 << 16
+
 // MatMulInto computes dst = a*b, reusing dst's storage.
-// dst must be a.Rows × b.Cols and must not alias a or b.
+// dst must be a.Rows × b.Cols and must not alias a or b (checked —
+// aliased storage would silently corrupt the accumulation).
+//
+// Large products run row-blocked in parallel: each worker owns a
+// contiguous block of dst rows and accumulates it in the same ikj
+// order as the serial kernel, so the result is byte-identical at any
+// worker count.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
@@ -161,21 +203,35 @@ func MatMulInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	dst.Zero()
-	// ikj loop order: stream b rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("tensor: MatMulInto dst must not alias a or b")
+	}
+	flopsPerRow := a.Cols * b.Cols
+	rows := func(lo, hi int) {
+		// ikj loop order: stream b rows for cache friendliness.
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
 	}
+	if a.Rows*flopsPerRow < matmulParallelMinFLOPs {
+		rows(0, a.Rows)
+		return
+	}
+	grain := matmulParallelMinFLOPs / (4 * (flopsPerRow + 1))
+	parallel.For(a.Rows, grain+1, rows)
 }
 
 // AddInPlace computes m += other element-wise.
