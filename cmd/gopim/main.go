@@ -19,6 +19,17 @@
 //	-workers N   worker-pool size for parallel kernels and the
 //	             experiment fan-out (default: GOPIM_WORKERS env, else
 //	             GOMAXPROCS); output is identical at any worker count
+//
+// Observability flags (see DESIGN.md §Observability):
+//
+//	-metrics f   write a metrics snapshot on exit (.csv/.json by
+//	             extension, else text with wall metrics behind '#')
+//	-trace-out f write wall-clock spans (and, for gantt, the simulated
+//	             schedule) as Chrome trace-event JSON — load in Perfetto
+//	-manifest f  write the run manifest (default: derived from
+//	             -metrics/-trace-out)
+//	-progress    per-experiment start/done lines on stderr
+//	-pprof addr  serve net/http/pprof, expvar and /debug/metrics
 package main
 
 import (
@@ -40,6 +51,11 @@ func main() {
 	fast := flag.Bool("fast", false, "shrink workloads for a quick smoke run")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOPIM_WORKERS env, else GOMAXPROCS)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot to this file on exit (.csv/.json by extension, else text)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+	manifestPath := flag.String("manifest", "", "write the run manifest to this file (default: derived from -metrics/-trace-out)")
+	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -50,6 +66,20 @@ func main() {
 		fatal(err.Error())
 	}
 	gopim.SetWorkers(*workers)
+
+	// Same principle for the observability outputs: open files and bind
+	// the debug listener before any experiment runs.
+	sess, err := startObsSession(obsFlags{
+		metricsPath:  *metricsPath,
+		tracePath:    *traceOut,
+		manifestPath: *manifestPath,
+		progress:     *progress,
+		pprofAddr:    *pprofAddr,
+	}, os.Args[1:])
+	if err != nil {
+		fatal(err.Error())
+	}
+	sess.setRunInfo(*seed, *workers, *format, *fast)
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -64,7 +94,7 @@ func main() {
 			fmt.Println(id)
 		}
 	case "all":
-		runExperiments(gopim.Experiments(), opt, outFormat)
+		runExperiments(sess, gopim.Experiments(), opt, outFormat)
 	case "compare":
 		if len(args) != 2 {
 			fatal("usage: gopim compare <dataset>")
@@ -80,7 +110,7 @@ func main() {
 		if len(args) != 3 {
 			fatal("usage: gopim gantt <dataset> <Serial|GoPIM|...>")
 		}
-		if err := renderGantt(args[1], args[2], *seed); err != nil {
+		if err := renderGantt(sess, args[1], args[2], *seed); err != nil {
 			fatal(err.Error())
 		}
 	case "theta":
@@ -98,15 +128,20 @@ func main() {
 			fatal(err.Error())
 		}
 	default:
-		runExperiments(args, opt, outFormat)
+		runExperiments(sess, args, opt, outFormat)
+	}
+	if err := sess.finish(); err != nil {
+		fatal(err.Error())
 	}
 }
 
 // runExperiments fans the experiments out across the worker pool and
 // renders the results in the order the ids were given, so output is
 // byte-identical at any worker count.
-func runExperiments(ids []string, opt gopim.ExperimentOptions, format experiments.Format) {
-	results, err := gopim.RunExperiments(ids, opt)
+func runExperiments(sess *obsSession, ids []string, opt gopim.ExperimentOptions, format experiments.Format) {
+	onStart, onDone := sess.hooks()
+	results, err := gopim.RunExperimentsWithHooks(ids, opt,
+		gopim.ExperimentHooks{OnStart: onStart, OnDone: onDone})
 	if err != nil {
 		fatal(err.Error())
 	}
@@ -150,8 +185,10 @@ func modelByName(name string) (gopim.Model, error) {
 }
 
 // renderGantt simulates the model on the dataset and draws the
-// replica-level schedule of the first 16 micro-batches.
-func renderGantt(dataset, model string, seed int64) error {
+// replica-level schedule of the first 16 micro-batches. With
+// -trace-out set, the same schedule also lands in the Chrome trace on
+// the simulated-time process track.
+func renderGantt(sess *obsSession, dataset, model string, seed int64) error {
 	d, err := gopim.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -170,6 +207,7 @@ func renderGantt(dataset, model string, seed int64) error {
 		Replicas:     r.Replicas,
 		MicroBatches: mb,
 	})
+	sess.addSimEvents(sched.ChromeTraceEvents(r.StageNames))
 	fmt.Printf("%s on %s — first %d micro-batches (replica-level trace):\n",
 		model, dataset, mb)
 	return sched.RenderGantt(os.Stdout, 100, r.StageNames)

@@ -139,6 +139,17 @@ func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentResult, e
 	return experiments.RunAll(ids, opt)
 }
 
+// ExperimentHooks carries per-experiment lifecycle callbacks for
+// RunExperimentsWithHooks (progress reporting, manifest timings).
+type ExperimentHooks = experiments.RunHooks
+
+// RunExperimentsWithHooks is RunExperiments with lifecycle callbacks
+// fired as each experiment starts and finishes. Hooks may be invoked
+// concurrently from worker goroutines.
+func RunExperimentsWithHooks(ids []string, opt ExperimentOptions, hooks ExperimentHooks) ([]*ExperimentResult, error) {
+	return experiments.RunAllWithHooks(ids, opt, hooks)
+}
+
 // SetWorkers overrides the worker-pool size every parallel kernel and
 // experiment fan-out runs at (the CLI's -workers flag). n < 1 restores
 // the default: GOPIM_WORKERS if set, else GOMAXPROCS. Output is

@@ -22,10 +22,52 @@ import (
 	"gopim/internal/energy"
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
+	"gopim/internal/obs"
 	"gopim/internal/pipeline"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
 )
+
+// Model-level metrics. Everything recorded here is a pure function of
+// the workload, so it all lives on the deterministic Sim clock. The
+// unlabelled aggregates are pre-registered (no allocation when
+// observability is off); the per-(dataset, model) and per-stage series
+// need dynamically built names, so they are gated on obs.Enabled().
+var (
+	mRuns = obs.NewCounter("accel.simulations", obs.Sim,
+		"accelerator model runs")
+	mMakespan = obs.NewDistribution("accel.makespan_ns", obs.Sim,
+		"simulated makespan per run")
+	mEnergy = obs.NewDistribution("accel.energy_pj", obs.Sim,
+		"total energy per run")
+	mCrossbars = obs.NewDistribution("accel.crossbars_used", obs.Sim,
+		"crossbars used incl. replicas per run")
+)
+
+// recordReport publishes the per-model metrics for one Run.
+func recordReport(r Report) {
+	mRuns.Inc()
+	mMakespan.Observe(r.MakespanNS)
+	mEnergy.Observe(r.EnergyPJ())
+	mCrossbars.Observe(float64(r.CrossbarsUsed))
+	if !obs.Enabled() {
+		return
+	}
+	kv := obs.LabelSuffix("dataset", r.Dataset, "model", r.Kind.String())
+	obs.NewDistribution("accel.makespan_ns"+kv, obs.Sim,
+		"simulated makespan for this dataset and model").Observe(r.MakespanNS)
+	obs.NewDistribution("accel.energy_pj"+kv, obs.Sim,
+		"total energy for this dataset and model").Observe(r.EnergyPJ())
+	obs.NewDistribution("accel.crossbars_used"+kv, obs.Sim,
+		"crossbars used for this dataset and model").Observe(float64(r.CrossbarsUsed))
+	for i, name := range r.StageNames {
+		skv := obs.LabelSuffix("dataset", r.Dataset, "model", r.Kind.String(),
+			"stage", name)
+		obs.NewDistribution("accel.stage_idle_frac"+skv, obs.Sim,
+			"per-stage idle fraction (busy/idle split of Figs. 4/15)").
+			Observe(r.IdleFrac[i])
+	}
+}
 
 // Kind names an accelerator model.
 type Kind int
@@ -292,7 +334,7 @@ func Run(kind Kind, w Workload) Report {
 		names[i] = s.Name
 		xbs[i] = s.Crossbars
 	}
-	return Report{
+	rep := Report{
 		Kind:              kind,
 		Dataset:           w.Dataset.Name,
 		StageTimesNS:      req.TimesNS,
@@ -306,6 +348,8 @@ func Run(kind Kind, w Workload) Report {
 		MicroBatches:      numMB,
 		UpdateFraction:    updateFraction,
 	}
+	recordReport(rep)
+	return rep
 }
 
 func onesFor(stages []stage.Stage) []int {

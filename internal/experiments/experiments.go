@@ -15,8 +15,19 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
+	"gopim/internal/obs"
 	"gopim/internal/parallel"
+)
+
+// Harness metrics: the run count is fixed by the id list (Sim); the
+// per-run timer measures real scheduling (Wall).
+var (
+	mExpRuns = obs.NewCounter("experiments.runs", obs.Sim,
+		"experiment harness executions")
+	mExpWall = obs.NewTimer("experiments.wall_ns",
+		"wall time per experiment harness run")
 )
 
 // Options tunes an experiment run.
@@ -142,7 +153,13 @@ func Run(id string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	return r(opt)
+	mExpRuns.Inc()
+	t0 := obs.NowIfEnabled()
+	sp := obs.StartSpan("experiment:" + id)
+	res, err := r(opt)
+	sp.End()
+	mExpWall.ObserveSince(t0)
+	return res, err
 }
 
 // RunAll executes the given experiments concurrently — each harness
@@ -156,6 +173,23 @@ func Run(id string, opt Options) (*Result, error) {
 // On harness error the first error in id order is returned along with
 // the results that did succeed (failed slots are nil).
 func RunAll(ids []string, opt Options) ([]*Result, error) {
+	return RunAllWithHooks(ids, opt, RunHooks{})
+}
+
+// RunHooks observes the experiment fan-out. Hooks ride alongside
+// Options rather than inside it because Options is a cache key (the
+// shared-predictor map) and must stay comparable. Both hooks may be
+// called concurrently from worker goroutines; nil hooks are skipped.
+type RunHooks struct {
+	// OnStart fires as a harness begins executing.
+	OnStart func(id string)
+	// OnDone fires when it finishes, with its wall time and error.
+	OnDone func(id string, wall time.Duration, err error)
+}
+
+// RunAllWithHooks is RunAll with per-experiment lifecycle callbacks —
+// the CLI's -progress reporting and run-manifest timings hang off it.
+func RunAllWithHooks(ids []string, opt Options, hooks RunHooks) ([]*Result, error) {
 	for _, id := range ids {
 		if _, ok := registry[id]; !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
@@ -167,7 +201,18 @@ func RunAll(ids []string, opt Options) ([]*Result, error) {
 		err error
 	}
 	outs := parallel.Map(len(ids), func(i int) outcome {
-		res, err := Run(ids[i], opt)
+		id := ids[i]
+		if hooks.OnStart != nil {
+			hooks.OnStart(id)
+		}
+		var t0 time.Time
+		if hooks.OnDone != nil {
+			t0 = time.Now()
+		}
+		res, err := Run(id, opt)
+		if hooks.OnDone != nil {
+			hooks.OnDone(id, time.Since(t0), err)
+		}
 		return outcome{res: res, err: err}
 	})
 	results := make([]*Result, len(ids))

@@ -6,9 +6,22 @@ import (
 
 	"gopim/internal/accel"
 	"gopim/internal/graphgen"
+	"gopim/internal/obs"
 	"gopim/internal/predictor"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
+)
+
+// Cache metrics for the shared time predictor. Both counts are
+// deterministic despite the concurrent fan-out: the mutex is held
+// across training, so exactly one caller per Options key ever misses
+// and every later caller hits — the totals depend only on which
+// experiments run, never on scheduling.
+var (
+	mPredCacheHits = obs.NewCounter("experiments.predictor_cache_hits", obs.Sim,
+		"shared-predictor lookups answered from the cache")
+	mPredCacheMisses = obs.NewCounter("experiments.predictor_cache_misses", obs.Sim,
+		"shared-predictor lookups that trained a new model")
 )
 
 func init() {
@@ -116,10 +129,14 @@ func trainSharedPredictor(opt Options) *predictor.TimePredictor {
 	sharedPredictorsMu.Lock()
 	defer sharedPredictorsMu.Unlock()
 	if p, ok := sharedPredictors[opt]; ok {
+		mPredCacheHits.Inc()
 		return p
 	}
+	mPredCacheMisses.Inc()
+	sp := obs.StartSpan("predictor.train")
 	p := predictor.NewTimePredictor()
 	p.Train(predictor.Generate(profileSpec(opt)))
+	sp.End()
 	sharedPredictors[opt] = p
 	return p
 }

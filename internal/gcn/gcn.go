@@ -19,9 +19,30 @@ import (
 
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
+	"gopim/internal/obs"
 	"gopim/internal/quant"
 	"gopim/internal/sparsemat"
 	"gopim/internal/tensor"
+)
+
+// Training metrics. Run, epoch and row-write counts depend only on the
+// configuration and the deterministic per-run RNG stream, so they stay
+// on the Sim clock; the per-epoch timer measures real scheduling and is
+// Wall. gcn.rows_rewritten is the ISU write-traffic figure: without a
+// plan (or on the first epoch) every combined-feature row is written,
+// with a plan only the rows due this epoch are — the ratio against
+// gcn.rows_total is the write reduction selective updating buys.
+var (
+	mTrainRuns = obs.NewCounter("gcn.train_runs", obs.Sim,
+		"GCN training runs started")
+	mEpochs = obs.NewCounter("gcn.epochs", obs.Sim,
+		"training epochs executed")
+	mRowsRewritten = obs.NewCounter("gcn.rows_rewritten", obs.Sim,
+		"combined-feature rows written to aggregation crossbars")
+	mRowsTotal = obs.NewCounter("gcn.rows_total", obs.Sim,
+		"combined-feature rows that a no-ISU run would have written")
+	mEpochTime = obs.NewTimer("gcn.epoch_ns",
+		"wall time per training epoch")
 )
 
 // Config controls one training run.
@@ -137,9 +158,12 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 	// layer's aggregation crossbars; rows refresh per the plan.
 	written := make([]*tensor.Matrix, d.Layers)
 
+	mTrainRuns.Inc()
 	var losses []float64
 	var updatedRows, totalRows float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		t0 := obs.NowIfEnabled()
+		mEpochs.Inc()
 		if cfg.QuantBits >= 2 {
 			// ReRAM write-time quantisation: the crossbars only ever
 			// hold fixed-point weights.
@@ -162,6 +186,7 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 		losses = append(losses, loss)
 		grads := backward(adj, fw, weights, dOut)
 		opt.step(weights, grads)
+		mEpochTime.ObserveSince(t0)
 	}
 
 	final := forwardQuant(adj, inst.Features, weights, written, nil, 0, 0, rng, cfg.QuantBits)
@@ -216,12 +241,14 @@ func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix
 			quant.QuantizeMatrix(c, quantBits)
 		}
 
+		mRowsTotal.Add(int64(c.Rows))
 		if plan != nil {
 			// ISU: copy fresh rows for vertices due this epoch; stale
 			// rows stay as last written.
 			if written[l] == nil {
 				written[l] = c.Clone() // first epoch writes everything
 				updSum++
+				mRowsRewritten.Add(int64(c.Rows))
 			} else {
 				updated := 0
 				for v := 0; v < c.Rows; v++ {
@@ -231,10 +258,12 @@ func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix
 					}
 				}
 				updSum += float64(updated) / float64(c.Rows)
+				mRowsRewritten.Add(int64(updated))
 				c = written[l].Clone()
 			}
 		} else {
 			updSum++
+			mRowsRewritten.Add(int64(c.Rows))
 		}
 		fw.combined = append(fw.combined, c)
 

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Trace-event pids: wall-clock spans and simulated schedules render as
+// two separate processes in the viewer, keeping the two clocks apart.
+const (
+	wallPid = 1
+	// SimPid is the process id used for simulated-time events (a
+	// trace.Schedule converted to trace events).
+	SimPid = 2
+)
+
+// TraceEvent is one Chrome trace-event object, loadable by
+// chrome://tracing and Perfetto (ui.perfetto.dev). Timestamps and
+// durations are in microseconds, per the format.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// processNameEvent returns the metadata event naming a trace process.
+func processNameEvent(pid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name},
+	}
+}
+
+// ThreadNameEvent returns the metadata event naming one lane (tid).
+func ThreadNameEvent(pid, tid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]string{"name": name},
+	}
+}
+
+// SimProcessNameEvent returns the metadata event naming the
+// simulated-time process.
+func SimProcessNameEvent() TraceEvent {
+	return processNameEvent(SimPid, "gopim (simulated time)")
+}
+
+// WriteTraceJSON writes events in the Chrome trace-event JSON object
+// format. encoding/json sorts the Args maps, so output bytes are a
+// deterministic function of the events.
+func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
+	out := struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ns"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

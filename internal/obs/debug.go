@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar name (expvar.Publish
+// panics on duplicates).
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/pprof/*   net/http/pprof profiles
+//	/debug/vars      expvar, including the registry under "gopim_metrics"
+//	/debug/metrics   the registry's text snapshot (all clocks)
+//
+// The listener is bound synchronously so an unusable address fails
+// here, before any experiment runs; the server itself runs in the
+// background until the listener is closed.
+func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("gopim_metrics", expvar.Func(func() any { return reg.ExpvarMap() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

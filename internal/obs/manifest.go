@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ExperimentRecord is one experiment's entry in a run manifest.
+type ExperimentRecord struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// Manifest captures everything needed to reproduce one CLI run: the
+// exact invocation, the knobs that influence output bytes (seed,
+// workers, format, fast), the toolchain, and per-experiment wall
+// durations. It is written alongside experiment output so a
+// regenerated experiments_full_output.txt always names its provenance.
+type Manifest struct {
+	Tool        string             `json:"tool"`
+	Args        []string           `json:"args"`
+	Seed        int64              `json:"seed"`
+	Workers     int                `json:"workers"`
+	Format      string             `json:"format"`
+	Fast        bool               `json:"fast"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	GitDescribe string             `json:"git_describe,omitempty"`
+	StartedAt   time.Time          `json:"started_at"`
+	WallMS      float64            `json:"wall_ms"`
+	Experiments []ExperimentRecord `json:"experiments,omitempty"`
+
+	start time.Time
+	mu    sync.Mutex
+}
+
+// NewManifest starts a manifest for the given command-line arguments,
+// filling in toolchain and git provenance.
+func NewManifest(args []string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:        "gopim",
+		Args:        append([]string(nil), args...),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GitDescribe: gitDescribe(),
+		StartedAt:   now.UTC(),
+		start:       now,
+	}
+}
+
+// Record appends one experiment outcome. Safe for concurrent use: the
+// experiment fan-out reports completions from worker goroutines.
+func (m *Manifest) Record(id string, wall time.Duration, err error) {
+	rec := ExperimentRecord{ID: id, WallMS: float64(wall) / 1e6}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	m.mu.Lock()
+	m.Experiments = append(m.Experiments, rec)
+	m.mu.Unlock()
+}
+
+// Finish stamps the total wall time.
+func (m *Manifest) Finish() { m.WallMS = float64(time.Since(m.start)) / 1e6 }
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitDescribe returns `git describe --tags --always --dirty` for the
+// working directory, or "" when git or a repository is unavailable.
+// Best-effort provenance only — never an error.
+func gitDescribe() string {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "git", "describe", "--tags", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest([]string{"-fast", "all"})
+	m.Seed = 7
+	m.Workers = 4
+	m.Format = "text"
+	m.Fast = true
+	m.Record("fig13", 1500*time.Millisecond, nil)
+	m.Record("tab5", 2*time.Millisecond, errors.New("boom"))
+	m.Finish()
+
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest JSON invalid: %v", err)
+	}
+	if got.Tool != "gopim" || got.Seed != 7 || got.Workers != 4 || !got.Fast {
+		t.Fatalf("round-trip mismatch: tool=%q seed=%d workers=%d fast=%v",
+			got.Tool, got.Seed, got.Workers, got.Fast)
+	}
+	if got.GoVersion != runtime.Version() {
+		t.Fatalf("go version = %q", got.GoVersion)
+	}
+	if len(got.Experiments) != 2 || got.Experiments[0].ID != "fig13" {
+		t.Fatalf("experiments = %+v", got.Experiments)
+	}
+	if got.Experiments[1].Err != "boom" {
+		t.Fatalf("error not recorded: %+v", got.Experiments[1])
+	}
+	if got.Experiments[0].WallMS < 1499 {
+		t.Fatalf("wall ms = %v", got.Experiments[0].WallMS)
+	}
+}

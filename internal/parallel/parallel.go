@@ -29,6 +29,28 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"gopim/internal/obs"
+)
+
+// Pool metrics. The Sim-clock counters count quantities that depend
+// only on the work submitted (calls, partitioned blocks), never on how
+// many workers ran it, so they stay byte-identical across worker
+// counts; everything scheduling-dependent (helpers actually spawned,
+// budget denials, busy time) is Wall-clock.
+var (
+	mForCalls = obs.NewCounter("parallel.for_calls", obs.Sim,
+		"For/Map invocations over non-empty ranges")
+	mBlocks = obs.NewCounter("parallel.blocks_partitioned", obs.Sim,
+		"work blocks the index ranges were partitioned into")
+	mHelpers = obs.NewCounter("parallel.helpers_spawned", obs.Wall,
+		"helper goroutines acquired from the global budget")
+	mHelperDenied = obs.NewCounter("parallel.helper_budget_denied", obs.Wall,
+		"times a For call stopped spawning because the budget was exhausted")
+	mHelperBusy = obs.NewTimer("parallel.helper_busy_ns",
+		"per-helper wall time from spawn to drain (worker occupancy)")
+	mEnvInvalid = obs.NewCounter("parallel.env_workers_invalid", obs.Wall,
+		"GOPIM_WORKERS values rejected, falling back to GOMAXPROCS")
 )
 
 // overrideWorkers holds the SetWorkers value; 0 means "not set".
@@ -40,20 +62,36 @@ var (
 	envWorkers int
 )
 
+// parseWorkers validates a GOPIM_WORKERS value: a positive integer.
+func parseWorkers(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("want a positive integer, got %q", v)
+	}
+	return n, nil
+}
+
 func envWorkerCount() int {
 	envOnce.Do(func() {
 		v := os.Getenv("GOPIM_WORKERS")
 		if v == "" {
 			return
 		}
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "gopim: ignoring invalid GOPIM_WORKERS=%q\n", v)
+		n, err := parseWorkers(v)
+		if err != nil {
+			rejectEnvWorkers(v)
 			return
 		}
 		envWorkers = n
 	})
 	return envWorkers
+}
+
+// rejectEnvWorkers reports an unusable GOPIM_WORKERS value through the
+// structured warn path and counts the GOMAXPROCS fallback.
+func rejectEnvWorkers(v string) {
+	mEnvInvalid.Inc()
+	obs.Warnf("parallel", "ignoring invalid GOPIM_WORKERS=%q (want a positive integer); using GOMAXPROCS", v)
 }
 
 // Workers returns the worker count parallel kernels run at:
@@ -113,6 +151,10 @@ func For(n, grain int, body func(lo, hi int)) {
 		grain = 1
 	}
 	blocks := (n + grain - 1) / grain
+	// Both counts derive from (n, grain) alone — identical at any
+	// worker count, so they live on the Sim clock.
+	mForCalls.Inc()
+	mBlocks.Add(int64(blocks))
 	w := Workers()
 	if w > blocks {
 		w = blocks
@@ -154,12 +196,19 @@ func For(n, grain int, body func(lo, hi int)) {
 	}
 
 	var wg sync.WaitGroup
-	for i := 1; i < w && tryAcquireHelper(); i++ {
+	for i := 1; i < w; i++ {
+		if !tryAcquireHelper() {
+			mHelperDenied.Inc()
+			break
+		}
+		mHelpers.Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer releaseHelper()
+			t0 := obs.NowIfEnabled()
 			loop()
+			mHelperBusy.ObserveSince(t0)
 		}()
 	}
 	loop()

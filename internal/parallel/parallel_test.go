@@ -1,8 +1,12 @@
 package parallel
 
 import (
+	"bytes"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"gopim/internal/obs"
 )
 
 // withWorkers runs f under a fixed worker count and restores the
@@ -95,6 +99,39 @@ func TestForPropagatesPanic(t *testing.T) {
 			})
 			t.Fatalf("workers=%d: For returned instead of panicking", w)
 		})
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		ok bool
+	}{
+		{"1", true}, {"16", true},
+		{"0", false}, {"-2", false}, {"abc", false}, {"1.5", false}, {"", false},
+	} {
+		_, err := parseWorkers(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseWorkers(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+	}
+}
+
+// Invalid GOPIM_WORKERS values must flow through the structured warn
+// path — counted in the registry and attributed to this package —
+// instead of a bare stderr write.
+func TestRejectEnvWorkersWarnsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	restore := obs.SetWarnOutput(&buf)
+	defer restore()
+	before := mEnvInvalid.Value()
+	rejectEnvWorkers("banana")
+	if mEnvInvalid.Value() != before+1 {
+		t.Fatal("fallback not counted in the registry")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[parallel]") || !strings.Contains(out, `GOPIM_WORKERS="banana"`) {
+		t.Fatalf("warn output = %q", out)
 	}
 }
 

@@ -14,6 +14,23 @@ package pipeline
 
 import (
 	"fmt"
+
+	"gopim/internal/obs"
+)
+
+// Schedule metrics: everything here is a function of the simulated
+// workload, so all series live on the deterministic Sim clock.
+var (
+	mSimulations = obs.NewCounter("pipeline.simulations", obs.Sim,
+		"schedules simulated")
+	mMicroBatches = obs.NewCounter("pipeline.micro_batches", obs.Sim,
+		"micro-batches scheduled across all simulations")
+	mStages = obs.NewCounter("pipeline.stages_scheduled", obs.Sim,
+		"stage lanes scheduled across all simulations")
+	mMicroBatchHist = obs.NewHistogram("pipeline.micro_batches_per_sim", obs.Sim,
+		"micro-batch count per simulation (power-of-two buckets)")
+	mMakespan = obs.NewDistribution("pipeline.makespan_ns", obs.Sim,
+		"simulated makespan per schedule")
 )
 
 // Mode selects how much pipelining the accelerator supports.
@@ -131,6 +148,12 @@ func Simulate(in Input) Result {
 	default:
 		panic(fmt.Sprintf("pipeline: unknown mode %v", in.Mode))
 	}
+
+	mSimulations.Inc()
+	mMicroBatches.Add(int64(in.MicroBatches))
+	mStages.Add(int64(len(in.TimesNS)))
+	mMicroBatchHist.Observe(int64(in.MicroBatches))
+	mMakespan.Observe(makespan)
 
 	busy := make([]float64, len(eff))
 	idle := make([]float64, len(eff))

@@ -4,8 +4,20 @@ import (
 	"fmt"
 	"math"
 
+	"gopim/internal/obs"
 	"gopim/internal/parallel"
 	"gopim/internal/stage"
+)
+
+// Training metrics: call and sample counts depend only on what callers
+// submit, so they are Sim-clock; fit time is Wall.
+var (
+	mTrainCalls = obs.NewCounter("predictor.train_calls", obs.Sim,
+		"TimePredictor.Train invocations")
+	mTrainSamples = obs.NewCounter("predictor.train_samples", obs.Sim,
+		"samples consumed across all Train calls")
+	mTrainTime = obs.NewTimer("predictor.train_ns",
+		"wall time per Train call")
 )
 
 // TimePredictor predicts per-stage execution times from Table I
@@ -63,6 +75,10 @@ func (p *TimePredictor) Train(samples []Sample) {
 	if len(samples) == 0 {
 		panic("predictor: no training samples")
 	}
+	t0 := obs.NowIfEnabled()
+	defer mTrainTime.ObserveSince(t0)
+	mTrainCalls.Inc()
+	mTrainSamples.Add(int64(len(samples)))
 	if p.NewModel == nil {
 		p.NewModel = func() Regressor { return NewMLP() }
 	}

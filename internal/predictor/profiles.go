@@ -4,9 +4,20 @@ import (
 	"math/rand"
 
 	"gopim/internal/graphgen"
+	"gopim/internal/obs"
 	"gopim/internal/parallel"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
+)
+
+// Profile-generation metrics: unit and sample counts are functions of
+// the spec alone (noise perturbs sample values, never how many there
+// are), so both are Sim-clock.
+var (
+	mProfileUnits = obs.NewCounter("predictor.profile_units", obs.Sim,
+		"(dataset, scale) profile units generated")
+	mProfileSamples = obs.NewCounter("predictor.profile_samples", obs.Sim,
+		"profile samples generated across all units")
 )
 
 // ProfileSpec controls synthetic profile-dataset generation. The paper
@@ -131,5 +142,7 @@ func Generate(spec ProfileSpec) []Sample {
 	for _, s := range perUnit {
 		samples = append(samples, s...)
 	}
+	mProfileUnits.Add(int64(len(units)))
+	mProfileSamples.Add(int64(len(samples)))
 	return samples
 }

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"gopim/internal/obs"
+)
+
+// ChromeTraceEvents converts the simulated schedule into Chrome
+// trace-event form, so paper Gantt data loads in the same viewer
+// (chrome://tracing, Perfetto) as the CLI's wall-clock span traces.
+// Every (stage, replica) pair becomes one lane, named from names when
+// provided ("AG1/r2"); each stage execution becomes one complete event
+// labelled with its micro-batch index. Simulated nanoseconds map to
+// the format's microsecond timestamps, and the events carry the
+// dedicated simulated-time pid so the two clocks never mix in one
+// process track.
+func (s *Schedule) ChromeTraceEvents(names []string) []obs.TraceEvent {
+	// Lane base per stage: replicas of earlier stages stack first.
+	base := make([]int, len(s.Replicas))
+	lanes := 0
+	for i, r := range s.Replicas {
+		base[i] = lanes
+		lanes += r
+	}
+	// Earliest-free dispatch touches at most MicroBatches replicas of a
+	// stage, while the allocation can run to thousands; name only the
+	// lanes that carry events so the viewer isn't flooded with empty
+	// rows.
+	used := make([]bool, lanes)
+	for _, e := range s.Events {
+		used[base[e.Stage]+e.Replica] = true
+	}
+	events := make([]obs.TraceEvent, 0, len(s.Events)+lanes+1)
+	events = append(events, obs.SimProcessNameEvent())
+	for i, r := range s.Replicas {
+		name := fmt.Sprintf("stage %d", i)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		for k := 0; k < r; k++ {
+			if !used[base[i]+k] {
+				continue
+			}
+			events = append(events, obs.ThreadNameEvent(obs.SimPid, base[i]+k,
+				fmt.Sprintf("%s/r%d", name, k)))
+		}
+	}
+	for _, e := range s.Events {
+		events = append(events, obs.TraceEvent{
+			Name: fmt.Sprintf("mb %d", e.MicroBatch),
+			Cat:  "sim",
+			Ph:   "X",
+			Ts:   e.StartNS / 1e3,
+			Dur:  (e.EndNS - e.StartNS) / 1e3,
+			Pid:  obs.SimPid,
+			Tid:  base[e.Stage] + e.Replica,
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace writes the schedule as Chrome trace-event JSON.
+func (s *Schedule) WriteChromeTrace(w io.Writer, names []string) error {
+	return obs.WriteTraceJSON(w, s.ChromeTraceEvents(names))
+}

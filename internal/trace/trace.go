@@ -17,6 +17,18 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"gopim/internal/obs"
+)
+
+// Event-level schedule metrics (Sim clock: functions of the input).
+var (
+	mSimulations = obs.NewCounter("trace.simulations", obs.Sim,
+		"event-level schedules simulated")
+	mEvents = obs.NewCounter("trace.events", obs.Sim,
+		"stage-execution events generated")
+	mMakespan = obs.NewDistribution("trace.makespan_ns", obs.Sim,
+		"event-level makespan per schedule")
 )
 
 // Event is one stage execution of one micro-batch on one replica.
@@ -122,6 +134,9 @@ func Simulate(in Input) *Schedule {
 			}
 		}
 	}
+	mSimulations.Inc()
+	mEvents.Add(int64(len(sched.Events)))
+	mMakespan.Observe(sched.MakespanNS)
 	return sched
 }
 
@@ -178,6 +193,13 @@ func (s *Schedule) RenderGantt(w io.Writer, columns int, names []string) error {
 			hi := int(e.EndNS * scale)
 			if hi >= columns {
 				hi = columns - 1
+			}
+			// Clamp lo too: a zero-duration event (TimesNS[i] == 0) at
+			// the very end of the schedule lands exactly on
+			// lo == columns and must render in the last cell, not fall
+			// outside the row.
+			if lo >= columns {
+				lo = columns - 1
 			}
 			ch := byte('0' + e.MicroBatch%10)
 			for c := lo; c <= hi; c++ {

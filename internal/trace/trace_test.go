@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -163,6 +164,74 @@ func TestRenderGantt(t *testing.T) {
 	var buf2 bytes.Buffer
 	if err := empty.RenderGantt(&buf2, 10, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A zero-duration stage event whose start coincides with the makespan
+// maps to column index == columns; the renderer must clamp it into the
+// last cell instead of dropping it (or, before the clamp existed,
+// writing out of range).
+func TestRenderGanttZeroDurationStage(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{10, 0}, MicroBatches: 1})
+	var buf bytes.Buffer
+	if err := s.RenderGantt(&buf, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "0") {
+		t.Fatalf("zero-duration stage invisible in gantt:\n%s", buf.String())
+	}
+	// Multi-batch variant must also render without panicking.
+	s = Simulate(Input{TimesNS: []float64{3, 0, 5}, MicroBatches: 7})
+	buf.Reset()
+	if err := s.RenderGantt(&buf, 33, []string{"CO", "ZZ", "AG"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ZZ") {
+		t.Fatalf("missing stage row:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceEvents(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{2000, 4000}, Replicas: []int{1, 2}, MicroBatches: 3})
+	evs := s.ChromeTraceEvents([]string{"CO", "AG"})
+	var meta, exec int
+	seenLane := map[int]bool{}
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			exec++
+			if e.Pid != 2 {
+				t.Fatalf("sim event on pid %d", e.Pid)
+			}
+			seenLane[e.Tid] = true
+		}
+	}
+	// 1 process-name + 3 thread-name metadata events; 2 stages × 3 mbs.
+	if meta != 4 || exec != 6 {
+		t.Fatalf("meta = %d, exec = %d, want 4, 6", meta, exec)
+	}
+	// Stage 1's two replicas occupy lanes 1 and 2 after stage 0's lane 0.
+	if !seenLane[0] || !seenLane[1] || !seenLane[2] {
+		t.Fatalf("lanes used = %v, want {0,1,2}", seenLane)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf, []string{"CO", "AG"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != len(evs) {
+		t.Fatalf("JSON events = %d, want %d", len(doc.TraceEvents), len(evs))
 	}
 }
 

@@ -1,0 +1,55 @@
+package gopim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gopim"
+	"gopim/internal/obs"
+)
+
+// The observability subsystem's central promise: every Sim-clock metric
+// is a pure function of the work submitted, so the rendered snapshot is
+// byte-identical at any worker count. The experiment set exercises the
+// full instrumented stack — fig4 runs accelerator models (accel,
+// pipeline, energy), fig5 the pipeline scheduler, fig6/fig7 the mapping
+// substrate — and everything fans out through parallel.Map, whose
+// block scheduling varies freely with the worker count.
+func TestSimMetricsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker experiment sweep")
+	}
+	ids := []string{"fig4", "fig5", "fig6", "fig7"}
+	opt := gopim.ExperimentOptions{Seed: 11, Fast: true}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	defer gopim.SetWorkers(0)
+	defer obs.Default().Reset()
+
+	var want []byte
+	for _, w := range []int{1, 2, 8} {
+		gopim.SetWorkers(w)
+		obs.Default().Reset()
+		if _, err := gopim.RunExperiments(ids, opt); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Default().WriteText(&buf, obs.Sim); err != nil {
+			t.Fatal(err)
+		}
+		snap := buf.Bytes()
+		if !strings.Contains(buf.String(), "pipeline.simulations") {
+			t.Fatalf("workers=%d: snapshot missing pipeline metrics:\n%s", w, snap)
+		}
+		if want == nil {
+			want = snap
+			continue
+		}
+		if !bytes.Equal(snap, want) {
+			t.Errorf("workers=%d: Sim snapshot differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				w, want, w, snap)
+		}
+	}
+}
