@@ -10,6 +10,12 @@
 //	gopim gantt <dataset> <model>  render the pipeline schedule
 //	gopim theta <dataset>          re-derive the adaptive θ (§VI-C)
 //	gopim endurance <dataset>      ISU's array-lifetime effect
+//	gopim bench -label L           run the regression bench suite and
+//	                               write BENCH_L.json; -attrib adds the
+//	                               stage-level attribution report
+//	gopim diff <old> <new>         compare two BENCH files (or raw
+//	                               -metrics JSON snapshots); nonzero
+//	                               exit on sim-clock regression
 //
 // Flags:
 //
@@ -88,6 +94,9 @@ func main() {
 	}
 	opt := gopim.ExperimentOptions{Seed: *seed, Fast: *fast}
 
+	// exitCode defers a nonzero exit (diff regressions) until after the
+	// observability session has flushed its artifacts.
+	exitCode := 0
 	switch args[0] {
 	case "list":
 		for _, id := range gopim.Experiments() {
@@ -127,11 +136,27 @@ func main() {
 		if err := showEndurance(args[1], *seed); err != nil {
 			fatal(err.Error())
 		}
+	case "bench":
+		if err := benchCmd(args[1:], *seed, *fast, outFormat); err != nil {
+			fatal(err.Error())
+		}
+	case "diff":
+		regressions, err := diffCmd(args[1:], outFormat)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "gopim: %d sim-clock metric(s) regressed\n", regressions)
+			exitCode = 1
+		}
 	default:
 		runExperiments(sess, args, opt, outFormat)
 	}
 	if err := sess.finish(); err != nil {
 		fatal(err.Error())
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 
@@ -160,6 +185,8 @@ usage:
   gopim [flags] all
   gopim [flags] <experiment-id>...
   gopim [flags] compare <dataset>
+  gopim [flags] bench [-label L] [-repeats N] [-attrib]
+  gopim [flags] diff [-rel R] <old.json> <new.json>
 
 flags:
 `)

@@ -61,6 +61,9 @@ func (s *obsSession) setRunInfo(seed int64, workers int, format string, fast boo
 // hours of simulation. With every flag off it enables nothing, so the
 // hot paths keep their zero-allocation contract.
 func startObsSession(f obsFlags, args []string) (*obsSession, error) {
+	if err := checkDistinctPaths(f); err != nil {
+		return nil, err
+	}
 	s := &obsSession{flags: f}
 	if f.metricsPath != "" || f.tracePath != "" {
 		obs.SetEnabled(true)
@@ -98,6 +101,32 @@ func startObsSession(f obsFlags, args []string) (*obsSession, error) {
 		s.manifest = obs.NewManifest(args)
 	}
 	return s, nil
+}
+
+// checkDistinctPaths rejects observability flags that point two
+// outputs at the same file: each writer opens with os.Create, so the
+// later one would silently truncate the earlier one's artifact. Paths
+// are compared after Clean so "./m.txt" and "m.txt" collide.
+func checkDistinctPaths(f obsFlags) error {
+	type out struct{ flag, path string }
+	outs := []out{
+		{"-metrics", f.metricsPath},
+		{"-trace-out", f.tracePath},
+		{"-manifest", f.manifestPath},
+	}
+	seen := map[string]string{}
+	for _, o := range outs {
+		if o.path == "" {
+			continue
+		}
+		clean := filepath.Clean(o.path)
+		if prev, dup := seen[clean]; dup {
+			return fmt.Errorf("%s and %s both point at %q; give each output its own file",
+				prev, o.flag, o.path)
+		}
+		seen[clean] = o.flag
+	}
+	return nil
 }
 
 // manifestPath resolves where the run manifest goes: the explicit

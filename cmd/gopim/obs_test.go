@@ -127,6 +127,43 @@ func TestObsFlagPlumbing(t *testing.T) {
 			},
 		},
 		{
+			name: "metrics and trace sharing a file fails",
+			flags: func() obsFlags {
+				p := filepath.Join(dir, "shared.json")
+				return obsFlags{metricsPath: p, tracePath: p}
+			},
+			ok: false,
+		},
+		{
+			name: "manifest colliding with metrics fails",
+			flags: func() obsFlags {
+				p := filepath.Join(dir, "collide.txt")
+				return obsFlags{metricsPath: p, manifestPath: p}
+			},
+			ok: false,
+		},
+		{
+			name: "unclean spelling of the same path fails",
+			flags: func() obsFlags {
+				return obsFlags{
+					metricsPath: filepath.Join(dir, "m3.txt"),
+					tracePath:   filepath.Join(dir, ".", "m3.txt") + string(filepath.Separator) + ".." + string(filepath.Separator) + "m3.txt",
+				}
+			},
+			ok: false,
+		},
+		{
+			name: "distinct paths pass",
+			flags: func() obsFlags {
+				return obsFlags{
+					metricsPath:  filepath.Join(dir, "d1.txt"),
+					tracePath:    filepath.Join(dir, "d2.json"),
+					manifestPath: filepath.Join(dir, "d3.json"),
+				}
+			},
+			ok: true,
+		},
+		{
 			name: "explicit manifest flag wins",
 			flags: func() obsFlags {
 				return obsFlags{

@@ -60,6 +60,9 @@ func recordReport(r Report) {
 		"total energy for this dataset and model").Observe(r.EnergyPJ())
 	obs.NewDistribution("accel.crossbars_used"+kv, obs.Sim,
 		"crossbars used for this dataset and model").Observe(float64(r.CrossbarsUsed))
+	obs.NewDistribution("accel.update_frac"+kv, obs.Sim,
+		"steady-state fraction of vertex rows rewritten per epoch (1 = no ISU)").
+		Observe(r.UpdateFraction)
 	for i, name := range r.StageNames {
 		skv := obs.LabelSuffix("dataset", r.Dataset, "model", r.Kind.String(),
 			"stage", name)

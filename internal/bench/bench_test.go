@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gopim/internal/accel"
+	"gopim/internal/obs"
+)
+
+// tinyConfig is the cheapest meaningful suite: one experiment, one
+// dataset, two models, two worker counts.
+func tinyConfig(label string) Config {
+	return Config{
+		Label: label, Seed: 7, Fast: true,
+		Warmup: 1, Repeats: 2,
+		Workers:     []int{1, 2},
+		Experiments: []string{"fig5"},
+		Datasets:    []string{"ddi"},
+		Models:      []accel.Kind{accel.Serial, accel.GoPIM},
+	}
+}
+
+// resetObs restores the global state Run mutates.
+func resetObs(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Default().Reset()
+	})
+}
+
+// The harness's core promise: two runs of the same suite produce
+// config-by-config identical Sim metrics, and within one run the same
+// workload group is identical at every worker count.
+func TestRunSimMetricsDeterministic(t *testing.T) {
+	resetObs(t)
+	a, err := Run(tinyConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyConfig("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Configs) != 4 {
+		t.Fatalf("got %d configs, want 4: %+v", len(a.Configs), a.Configs)
+	}
+	for i := range a.Configs {
+		ca, cb := a.Configs[i], b.Configs[i]
+		if ca.Name != cb.Name {
+			t.Fatalf("config order differs: %q vs %q", ca.Name, cb.Name)
+		}
+		if !ca.SimStable || !cb.SimStable {
+			t.Errorf("%s: Sim snapshot unstable across repeats", ca.Name)
+		}
+		if len(ca.SimMetrics) == 0 {
+			t.Errorf("%s: empty Sim snapshot", ca.Name)
+		}
+		if !sameMetrics(ca.SimMetrics, cb.SimMetrics) {
+			t.Errorf("%s: Sim metrics differ between identical runs", ca.Name)
+		}
+	}
+	// Same group at different worker counts: identical values (the
+	// registry-wide determinism contract, seen through the bench lens).
+	byName := map[string]ConfigResult{}
+	for _, c := range a.Configs {
+		byName[c.Name] = c
+	}
+	if !sameMetrics(byName["sim-matrix/w1"].SimMetrics, byName["sim-matrix/w2"].SimMetrics) {
+		t.Error("sim-matrix Sim metrics differ between 1 and 2 workers")
+	}
+	if !sameMetrics(byName["experiments/w1"].SimMetrics, byName["experiments/w2"].SimMetrics) {
+		t.Error("experiments Sim metrics differ between 1 and 2 workers")
+	}
+}
+
+func TestRunRejectsUnknownWorkloads(t *testing.T) {
+	resetObs(t)
+	cfg := tinyConfig("x")
+	cfg.Experiments = []string{"no-such-experiment"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+	cfg = tinyConfig("x")
+	cfg.Datasets = []string{"no-such-dataset"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	resetObs(t)
+	f, err := Run(tinyConfig("roundtrip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), FileName(f.Label))
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Label != "roundtrip" {
+		t.Fatalf("loaded schema/label = %d/%q", got.Schema, got.Label)
+	}
+	if got.Manifest == nil || got.Manifest.Format != "bench" {
+		t.Fatal("manifest not round-tripped")
+	}
+	if len(got.Configs) != len(f.Configs) {
+		t.Fatalf("configs %d != %d", len(got.Configs), len(f.Configs))
+	}
+	for i := range f.Configs {
+		if !sameMetrics(got.Configs[i].SimMetrics, f.Configs[i].SimMetrics) {
+			t.Errorf("%s: metrics changed over the round trip", f.Configs[i].Name)
+		}
+	}
+}
+
+func TestLoadRejectsFutureSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := (&File{Schema: Schema + 1, Label: "future"}).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// WriteFile doesn't validate (it writes what Run built); Load must.
+	if _, err := Load(path); err == nil {
+		t.Error("future schema accepted")
+	}
+}
+
+func TestFileName(t *testing.T) {
+	for in, want := range map[string]string{
+		"a":       "BENCH_a.json",
+		"v1.2_rc": "BENCH_v1.2_rc.json",
+		"../evil": "BENCH_..-evil.json",
+		"sp ace":  "BENCH_sp-ace.json",
+		"":        "BENCH_local.json",
+	} {
+		if got := FileName(in); got != want {
+			t.Errorf("FileName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -58,11 +58,11 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-func (c *Counter) Name() string  { return c.name }
-func (c *Counter) Clock() Clock  { return c.clock }
-func (c *Counter) Kind() string  { return "counter" }
-func (c *Counter) Help() string  { return c.help }
-func (c *Counter) Reset()        { c.v.Store(0) }
+func (c *Counter) Name() string { return c.name }
+func (c *Counter) Clock() Clock { return c.clock }
+func (c *Counter) Kind() string { return "counter" }
+func (c *Counter) Help() string { return c.help }
+func (c *Counter) Reset()       { c.v.Store(0) }
 func (c *Counter) Fields() []Field {
 	return []Field{{"count", strconv.FormatInt(c.v.Load(), 10)}}
 }
@@ -84,11 +84,11 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-func (g *Gauge) Name() string  { return g.name }
-func (g *Gauge) Clock() Clock  { return Wall }
-func (g *Gauge) Kind() string  { return "gauge" }
-func (g *Gauge) Help() string  { return g.help }
-func (g *Gauge) Reset()        { g.bits.Store(0) }
+func (g *Gauge) Name() string { return g.name }
+func (g *Gauge) Clock() Clock { return Wall }
+func (g *Gauge) Kind() string { return "gauge" }
+func (g *Gauge) Help() string { return g.help }
+func (g *Gauge) Reset()       { g.bits.Store(0) }
 func (g *Gauge) Fields() []Field {
 	return []Field{{"value", formatFloat(g.Value())}}
 }
@@ -205,6 +205,48 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the integer sum of observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the power-of-two
+// buckets: the bucket holding the target rank is found by cumulative
+// count and the value interpolated linearly inside its [2^(k-1), 2^k)
+// span. Resolution is therefore the bucket width — good enough to tell
+// a 10µs p99 from a 10ms one, which is what bench diffs compare — and
+// the estimate is a pure function of the (deterministic) bucket
+// counts, so Sim-clock quantiles diff exactly across runs. Returns 0
+// when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := float64(h.count.Load())
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * (total - 1)
+	var cum float64
+	for i := 0; i < histogramBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if rank < cum+n {
+			if i == 0 {
+				return 0 // bucket 0 holds v ≤ 0
+			}
+			lo := math.Ldexp(1, i-1)
+			hi := math.Ldexp(1, i)
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	// Unreachable while counts and buckets agree: rank < total and the
+	// bucket counts sum to total.
+	return math.Ldexp(1, histogramBuckets-1)
+}
+
 func (h *Histogram) Name() string { return h.name }
 func (h *Histogram) Clock() Clock { return h.clock }
 func (h *Histogram) Kind() string { return "histogram" }
@@ -220,6 +262,14 @@ func (h *Histogram) Fields() []Field {
 	fields := []Field{
 		{"count", strconv.FormatInt(h.count.Load(), 10)},
 		{"sum", strconv.FormatInt(h.sum.Load(), 10)},
+	}
+	if h.count.Load() > 0 {
+		// Tail-latency estimates, so bench diffs compare p95/p99 and not
+		// just the extremes.
+		fields = append(fields,
+			Field{"p50", formatFloat(h.Quantile(0.50))},
+			Field{"p95", formatFloat(h.Quantile(0.95))},
+			Field{"p99", formatFloat(h.Quantile(0.99))})
 	}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {

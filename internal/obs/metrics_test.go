@@ -81,6 +81,82 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q", Sim, "")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 100 observations of 100 (bucket 7, [64, 128)) and one outlier at
+	// 100000 (bucket 17): p50 must land in the body bucket, p99+ may
+	// reach the outlier's.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	h.Observe(100000)
+	p50 := h.Quantile(0.50)
+	if p50 < 64 || p50 >= 128 {
+		t.Errorf("p50 = %v, want within [64, 128)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	if p100 := h.Quantile(1); p100 < 65536 || p100 >= 131072 {
+		t.Errorf("max quantile = %v, want within the outlier's [65536, 131072) bucket", p100)
+	}
+	// All-zero observations sit in bucket 0, which reads as 0.
+	z := r.NewHistogram("z", Sim, "")
+	z.Observe(0)
+	z.Observe(-3)
+	if got := z.Quantile(0.99); got != 0 {
+		t.Errorf("non-positive histogram p99 = %v", got)
+	}
+	// Quantiles render into the snapshot once observations exist.
+	fields := map[string]string{}
+	for _, f := range h.Fields() {
+		fields[f.Key] = f.Value
+	}
+	for _, k := range []string{"p50", "p95", "p99"} {
+		if fields[k] == "" {
+			t.Errorf("histogram fields missing %s: %v", k, fields)
+		}
+	}
+}
+
+// Quantile estimates must be a pure function of the bucket counts:
+// concurrent observation in any order yields the same values.
+func TestHistogramQuantileDeterministicUnderConcurrency(t *testing.T) {
+	render := func() []Field {
+		r := NewRegistry()
+		h := r.NewHistogram("h", Sim, "")
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					h.Observe(int64((w*500 + i) % 1000))
+				}
+			}(w)
+		}
+		wg.Wait()
+		return h.Fields()
+	}
+	want := render()
+	for i := 0; i < 3; i++ {
+		got := render()
+		if len(got) != len(want) {
+			t.Fatalf("field count drifted: %v vs %v", got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("field %d drifted: %v vs %v", j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestRegistryGetOrCreateAndMismatchPanics(t *testing.T) {
 	r := NewRegistry()
 	a := r.NewCounter("x", Sim, "")

@@ -2,7 +2,9 @@ package parallel
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -133,6 +135,59 @@ func TestRejectEnvWorkersWarnsAndCounts(t *testing.T) {
 	if !strings.Contains(out, "[parallel]") || !strings.Contains(out, `GOPIM_WORKERS="banana"`) {
 		t.Fatalf("warn output = %q", out)
 	}
+}
+
+// resetEnvCache clears the parsed-once GOPIM_WORKERS state so a test
+// can exercise envWorkerCount with its own environment, restoring the
+// pristine cache afterwards so test order doesn't matter.
+func resetEnvCache(t *testing.T) {
+	t.Helper()
+	envOnce = sync.Once{}
+	envWorkers = 0
+	t.Cleanup(func() {
+		envOnce = sync.Once{}
+		envWorkers = 0
+	})
+}
+
+// An invalid GOPIM_WORKERS must warn once, count the rejection, and
+// leave Workers() on the GOMAXPROCS fallback — not crash or silently
+// misparse.
+func TestInvalidEnvWorkersFallsBack(t *testing.T) {
+	resetEnvCache(t)
+	t.Setenv("GOPIM_WORKERS", "banana")
+	var buf bytes.Buffer
+	restore := obs.SetWarnOutput(&buf)
+	defer restore()
+	before := mEnvInvalid.Value()
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d with invalid env, want GOMAXPROCS %d", got, want)
+	}
+	if mEnvInvalid.Value() != before+1 {
+		t.Error("invalid GOPIM_WORKERS not counted")
+	}
+	if !strings.Contains(buf.String(), `GOPIM_WORKERS="banana"`) {
+		t.Errorf("warn output = %q", buf.String())
+	}
+	// The value is parsed once: a second lookup must not warn again.
+	Workers()
+	if mEnvInvalid.Value() != before+1 {
+		t.Error("rejection re-counted on cached lookup")
+	}
+}
+
+func TestValidEnvWorkersApplies(t *testing.T) {
+	resetEnvCache(t)
+	t.Setenv("GOPIM_WORKERS", "5")
+	if got := Workers(); got != 5 {
+		t.Errorf("Workers() = %d with GOPIM_WORKERS=5", got)
+	}
+	// An explicit SetWorkers override still wins over the environment.
+	withWorkers(t, 2, func() {
+		if got := Workers(); got != 2 {
+			t.Errorf("Workers() = %d, want SetWorkers override 2", got)
+		}
+	})
 }
 
 func TestNestedForDoesNotDeadlock(t *testing.T) {
