@@ -19,6 +19,7 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunExperiment(id, ExperimentOptions{Seed: 1, Fast: true})
 		if err != nil {
@@ -132,6 +133,7 @@ func BenchmarkSpMM(b *testing.B) {
 func BenchmarkProfileGeneration(b *testing.B) {
 	spec := predictor.ProfileSpec{Seed: 1, MaxVertices: 30_000}
 	withWorkerCounts(b, func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if len(predictor.Generate(spec)) == 0 {
 				b.Fatal("no samples")
@@ -146,6 +148,7 @@ func BenchmarkProfileGeneration(b *testing.B) {
 func BenchmarkAllExperimentsFast(b *testing.B) {
 	ids := Experiments()
 	withWorkerCounts(b, func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			results, err := RunExperiments(ids, ExperimentOptions{Seed: 1, Fast: true})
 			if err != nil {
@@ -175,6 +178,7 @@ func BenchmarkAblationZeroSkip(b *testing.B) {
 			chip := DefaultChip()
 			chip.ZeroSkipMiss = miss
 			w := Workload{Dataset: d, Seed: 1, Chip: chip}
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				last = Simulate(Serial, w).MakespanNS
@@ -197,6 +201,7 @@ func BenchmarkAblationWriteLanes(b *testing.B) {
 			chip := DefaultChip()
 			chip.WriteLanes = lanes
 			w := Workload{Dataset: d, Seed: 1, Chip: chip}
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				last = Simulate(Serial, w).MakespanNS

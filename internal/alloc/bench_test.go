@@ -57,6 +57,7 @@ func BenchmarkDecisionTimeOptimal(b *testing.B) {
 			for i := range req.Crossbars {
 				req.Crossbars[i] = 1
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				Optimal(req, budget+1)

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -37,7 +38,8 @@ import (
 
 // Schema is the BENCH file format version; bump it on any breaking
 // change to File so diffs fail loudly instead of misreading old files.
-const Schema = 1
+// Version 2 added per-repeat heap-allocation stats (AllocObjs/AllocMB).
+const Schema = 2
 
 // Config tunes one bench-suite run. The zero value of every field
 // selects the smoke-scale default, so Config{} is the CI suite.
@@ -152,6 +154,13 @@ type ConfigResult struct {
 	Workers int    `json:"workers"`
 	// WallMS aggregates the measured repeats (report-only in diffs).
 	WallMS Stats `json:"wall_ms"`
+	// AllocObjs and AllocMB are the median heap-allocation count and
+	// megabytes per measured repeat (runtime.MemStats deltas). Like
+	// wall time they describe this process, not the model, so diffs
+	// compare them report-only — but a jump flags an allocation
+	// regression in the hot paths the suite exercises.
+	AllocObjs float64 `json:"alloc_objs"`
+	AllocMB   float64 `json:"alloc_mb"`
 	// SimStable is false when the Sim snapshot drifted between repeats
 	// of this very run — a determinism bug worth investigating.
 	SimStable bool `json:"sim_stable"`
@@ -334,15 +343,22 @@ func runConfig(name string, workers, warmup, repeats int, body func() error) (Co
 		}
 	}
 	wallMS := make([]float64, repeats)
+	allocObjs := make([]float64, repeats)
+	allocMB := make([]float64, repeats)
 	var snap []MetricValue
 	stable := true
+	var msBefore, msAfter runtime.MemStats
 	for r := 0; r < repeats; r++ {
 		obs.Default().Reset()
+		runtime.ReadMemStats(&msBefore)
 		t0 := time.Now()
 		if err := body(); err != nil {
 			return ConfigResult{}, err
 		}
 		wallMS[r] = float64(time.Since(t0)) / 1e6
+		runtime.ReadMemStats(&msAfter)
+		allocObjs[r] = float64(msAfter.Mallocs - msBefore.Mallocs)
+		allocMB[r] = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / (1 << 20)
 		cur := flattenSim(obs.Default())
 		if snap != nil && !sameMetrics(snap, cur) {
 			stable = false
@@ -356,9 +372,17 @@ func runConfig(name string, workers, warmup, repeats int, body func() error) (Co
 		Name:       name,
 		Workers:    workers,
 		WallMS:     statsOf(wallMS),
+		AllocObjs:  medianOf(allocObjs),
+		AllocMB:    medianOf(allocMB),
 		SimStable:  stable,
 		SimMetrics: snap,
 	}, nil
+}
+
+// medianOf returns the median (destructively sorts its input).
+func medianOf(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
 }
 
 // WriteFile writes the BENCH file as indented JSON.

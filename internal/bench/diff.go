@@ -39,7 +39,8 @@ const (
 // heuristic recognises; everything else is Neutral.
 var (
 	lowerBetter = []string{"makespan", "energy", "idle", "latency", "busy",
-		"_ns", "_pj", "rows_rewritten", "update_frac", "wall_ms", "wear", "denied"}
+		"_ns", "_pj", "rows_rewritten", "update_frac", "wall_ms", "wear", "denied",
+		"alloc", "gc_count"}
 	higherBetter = []string{"hits", "speedup", "throughput"}
 )
 
@@ -142,8 +143,8 @@ func metricKey(name, field string) string { return name + " " + field }
 // diffConfig compares one matched configuration pair.
 func diffConfig(name string, old, new ConfigResult, th Thresholds) []MetricDiff {
 	var out []MetricDiff
-	// Wall stats: report-only, always diffed so perf trends stay
-	// visible even though they never fail a build.
+	// Wall stats and allocation counts: report-only, always diffed so
+	// perf trends stay visible even though they never fail a build.
 	for _, w := range []struct {
 		field    string
 		old, new float64
@@ -151,6 +152,8 @@ func diffConfig(name string, old, new ConfigResult, th Thresholds) []MetricDiff 
 		{"min_ms", old.WallMS.MinMS, new.WallMS.MinMS},
 		{"median_ms", old.WallMS.MedianMS, new.WallMS.MedianMS},
 		{"max_ms", old.WallMS.MaxMS, new.WallMS.MaxMS},
+		{"alloc_objs", old.AllocObjs, new.AllocObjs},
+		{"alloc_mb", old.AllocMB, new.AllocMB},
 	} {
 		if old.Name == "snapshot" || new.Name == "snapshot" {
 			break // raw snapshots carry no wall stats

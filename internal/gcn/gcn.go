@@ -10,12 +10,21 @@
 // θ-sensitivity curves of Fig. 16(a)/(b). Node-classification tasks
 // use softmax cross-entropy; link-prediction tasks score vertex pairs
 // by embedding dot products with logistic loss.
+//
+// The training loop is allocation-free in steady state: a per-run
+// workspace (see workspace) preallocates every forward/backward
+// intermediate once and the epoch loop reuses them, so the only
+// per-epoch heap traffic is what the Go runtime itself needs. All
+// buffer reuse preserves the exact floating-point accumulation order
+// of the original allocate-per-epoch code, so results are
+// byte-identical at any worker count.
 package gcn
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
@@ -32,6 +41,8 @@ import (
 // plan (or on the first epoch) every combined-feature row is written,
 // with a plan only the rows due this epoch are — the ratio against
 // gcn.rows_total is the write reduction selective updating buys.
+// The two memstats gauges snapshot the Go heap after each training run;
+// gauges live on the Wall clock, so they never enter strict Sim diffs.
 var (
 	mTrainRuns = obs.NewCounter("gcn.train_runs", obs.Sim,
 		"GCN training runs started")
@@ -43,6 +54,10 @@ var (
 		"combined-feature rows that a no-ISU run would have written")
 	mEpochTime = obs.NewTimer("gcn.epoch_ns",
 		"wall time per training epoch")
+	mHeapAlloc = obs.NewGauge("gcn.heap_alloc_bytes",
+		"live heap bytes sampled after the last training run")
+	mGCCount = obs.NewGauge("gcn.gc_count",
+		"cumulative runtime GC cycles sampled after the last training run")
 )
 
 // Config controls one training run.
@@ -86,6 +101,7 @@ type Model struct {
 }
 
 // adamState is a minimal Adam optimiser for a set of weight matrices.
+// Moment buffers are allocated once per run and updated in place.
 type adamState struct {
 	lr   float64
 	t    int
@@ -116,6 +132,95 @@ func (s *adamState) step(ws, grads []*tensor.Matrix) {
 	}
 }
 
+// workspace owns every matrix the training hot loop touches. It is
+// sized once per Train call from the layer dimensions and reused
+// across all epochs; the forward/backward methods below write into
+// these buffers instead of allocating. Lifetime rule: buffers are
+// valid from one forward call until the next forward call overwrites
+// them — Train consumes each epoch's gradients (opt.step) before the
+// next forward, and the test-facing free functions build a transient
+// workspace per call so their results stay independently owned.
+type workspace struct {
+	adj  *sparsemat.CSR // Â
+	adjT *sparsemat.CSR // Âᵀ, for the row-parallel backward aggregation
+
+	// Forward buffers, per layer l (shapes n × dims[l+1]).
+	combined   []*tensor.Matrix
+	aggregated []*tensor.Matrix
+	maskBuf    []*tensor.Matrix // nil for the last layer
+	hidden     []*tensor.Matrix // nil for the last layer
+
+	// Backward buffers.
+	inputT []*tensor.Matrix // dims[l] × n: fw.inputs[l]ᵀ
+	wT     []*tensor.Matrix // dims[l+1] × dims[l]; nil for l == 0
+	dC     []*tensor.Matrix // n × dims[l+1]: Âᵀ·dA
+	dIn    []*tensor.Matrix // n × dims[l]: dC·Wᵀ flowing into layer l-1; nil for l == 0
+	grads  []*tensor.Matrix // dims[l] × dims[l+1]
+
+	// Loss scratch (n × dims[last]).
+	dOut  *tensor.Matrix
+	probs *tensor.Matrix
+
+	fw forwardState
+}
+
+// newWorkspace preallocates all training intermediates. dims is the
+// layer width vector input → hidden… → output (len = layers+1); n is
+// the vertex count. adjT may be nil when only the forward pass will
+// run; backward fills it lazily via Transpose.
+func newWorkspace(adj, adjT *sparsemat.CSR, n int, dims []int) *workspace {
+	layers := len(dims) - 1
+	ws := &workspace{
+		adj:        adj,
+		adjT:       adjT,
+		combined:   make([]*tensor.Matrix, layers),
+		aggregated: make([]*tensor.Matrix, layers),
+		maskBuf:    make([]*tensor.Matrix, layers),
+		hidden:     make([]*tensor.Matrix, layers),
+		inputT:     make([]*tensor.Matrix, layers),
+		wT:         make([]*tensor.Matrix, layers),
+		dC:         make([]*tensor.Matrix, layers),
+		dIn:        make([]*tensor.Matrix, layers),
+		grads:      make([]*tensor.Matrix, layers),
+		dOut:       tensor.New(n, dims[layers]),
+		probs:      tensor.New(n, dims[layers]),
+	}
+	for l := 0; l < layers; l++ {
+		ws.combined[l] = tensor.New(n, dims[l+1])
+		ws.aggregated[l] = tensor.New(n, dims[l+1])
+		if l+1 < layers {
+			ws.maskBuf[l] = tensor.New(n, dims[l+1])
+			ws.hidden[l] = tensor.New(n, dims[l+1])
+		}
+		ws.inputT[l] = tensor.New(dims[l], n)
+		if l > 0 {
+			ws.wT[l] = tensor.New(dims[l+1], dims[l])
+			ws.dIn[l] = tensor.New(n, dims[l])
+		}
+		ws.dC[l] = tensor.New(n, dims[l+1])
+		ws.grads[l] = tensor.New(dims[l], dims[l+1])
+	}
+	ws.fw = forwardState{
+		ws:         ws,
+		inputs:     make([]*tensor.Matrix, layers),
+		combined:   make([]*tensor.Matrix, layers),
+		aggregated: make([]*tensor.Matrix, layers),
+		masks:      make([]*tensor.Matrix, layers),
+	}
+	return ws
+}
+
+// layerDims reconstructs the width vector from an input matrix and the
+// weight stack (used by the test-facing free functions).
+func layerDims(x *tensor.Matrix, weights []*tensor.Matrix) []int {
+	dims := make([]int, 0, len(weights)+1)
+	dims = append(dims, x.Cols)
+	for _, w := range weights {
+		dims = append(dims, w.Cols)
+	}
+	return dims
+}
+
 // Train runs GCN training on a synthetic instance and returns the
 // final test metric.
 func Train(inst *graphgen.Instance, cfg Config) Result {
@@ -132,7 +237,11 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 		dropout = d.Dropout
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	adj := inst.Graph.Adj().SymNormalized()
+	// Â and Âᵀ are cached on the Graph: experiment sweeps train many
+	// configurations on the same instance and the normalisation never
+	// changes.
+	adj := inst.Graph.NormAdj()
+	adjT := inst.Graph.NormAdjT()
 
 	// Layer dims: input → hidden… → output. Node tasks map the final
 	// layer onto the class count.
@@ -153,13 +262,14 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 		weights[l] = tensor.NewGlorot(rng, dims[l], dims[l+1])
 	}
 	opt := newAdam(lr, weights)
+	ws := newWorkspace(adj, adjT, inst.Features.Rows, dims)
 
 	// written[l] is the combined feature matrix as present on the
 	// layer's aggregation crossbars; rows refresh per the plan.
 	written := make([]*tensor.Matrix, d.Layers)
 
 	mTrainRuns.Inc()
-	var losses []float64
+	losses := make([]float64, 0, cfg.Epochs)
 	var updatedRows, totalRows float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		t0 := obs.NowIfEnabled()
@@ -171,25 +281,24 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 				quant.QuantizeMatrix(w, cfg.QuantBits)
 			}
 		}
-		fw := forwardQuant(adj, inst.Features, weights, written, cfg.Plan, epoch, dropout, rng, cfg.QuantBits)
+		fw := ws.forwardQuant(inst.Features, weights, written, cfg.Plan, epoch, dropout, rng, cfg.QuantBits)
 		updatedRows += fw.updatedFrac
 		totalRows++
 
 		var loss float64
-		var dOut *tensor.Matrix
 		switch d.Task {
 		case graphgen.NodeClassification:
-			loss, dOut = nodeLossGrad(fw.out, inst.Labels, inst.TrainMask)
+			loss = nodeLossGradInto(ws.probs, ws.dOut, fw.out, inst.Labels, inst.TrainMask)
 		case graphgen.LinkPrediction:
-			loss, dOut = linkLossGrad(rng, fw.out, inst.Graph)
+			loss = linkLossGradInto(rng, ws.dOut, fw.out, inst.Graph)
 		}
 		losses = append(losses, loss)
-		grads := backward(adj, fw, weights, dOut)
+		grads := ws.backward(fw, weights, ws.dOut)
 		opt.step(weights, grads)
 		mEpochTime.ObserveSince(t0)
 	}
 
-	final := forwardQuant(adj, inst.Features, weights, written, nil, 0, 0, rng, cfg.QuantBits)
+	final := ws.forwardQuant(inst.Features, weights, written, nil, 0, 0, rng, cfg.QuantBits)
 	res := Result{TrainLoss: losses, UpdatedRowFraction: updatedRows / totalRows}
 	switch d.Task {
 	case graphgen.NodeClassification:
@@ -197,11 +306,20 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 	case graphgen.LinkPrediction:
 		res.Accuracy = linkAccuracy(final.out, inst.PosEdges, inst.NegEdges)
 	}
+	if obs.Enabled() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mHeapAlloc.Set(float64(ms.HeapAlloc))
+		mGCCount.Set(float64(ms.NumGC))
+	}
 	return res
 }
 
-// forwardState caches one forward pass for backprop.
+// forwardState caches one forward pass for backprop. Its matrices
+// alias the owning workspace's buffers: a forwardState is valid until
+// the next forward call on the same workspace overwrites it.
 type forwardState struct {
+	ws *workspace
 	// inputs[l] is the input feature matrix of layer l (H_{l-1}).
 	inputs []*tensor.Matrix
 	// combined[l] is C_l = H_{l-1}·W_l as used by aggregation (possibly
@@ -218,6 +336,10 @@ type forwardState struct {
 	updatedFrac float64
 }
 
+// forward and forwardQuant are the test-facing entry points; each call
+// builds a transient workspace so successive calls return
+// independently owned states (the staleness tests compare two forward
+// passes side by side).
 func forward(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix,
 	written []*tensor.Matrix, plan *mapping.UpdatePlan, epoch int,
 	dropout float64, rng *rand.Rand) *forwardState {
@@ -227,14 +349,27 @@ func forward(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix,
 func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix,
 	written []*tensor.Matrix, plan *mapping.UpdatePlan, epoch int,
 	dropout float64, rng *rand.Rand, quantBits int) *forwardState {
+	ws := newWorkspace(adj, nil, x.Rows, layerDims(x, weights))
+	return ws.forwardQuant(x, weights, written, plan, epoch, dropout, rng, quantBits)
+}
 
-	fw := &forwardState{}
+// forwardQuant runs one forward pass into the workspace buffers. The
+// compute order — per-layer GEMM, optional quantisation, ISU row
+// refresh, SpMM aggregation, mask build with one rng draw per positive
+// entry in index order — matches the historic allocating version
+// exactly, so outputs and the RNG stream are byte-identical to it.
+func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
+	written []*tensor.Matrix, plan *mapping.UpdatePlan, epoch int,
+	dropout float64, rng *rand.Rand, quantBits int) *forwardState {
+
+	fw := &ws.fw
 	h := x
 	layers := len(weights)
 	var updSum float64
 	for l := 0; l < layers; l++ {
-		fw.inputs = append(fw.inputs, h)
-		c := tensor.MatMul(h, weights[l])
+		fw.inputs[l] = h
+		c := ws.combined[l]
+		tensor.MatMulInto(c, h, weights[l])
 		if quantBits >= 2 {
 			// Feature rows are quantised as they are written to the
 			// aggregation crossbars.
@@ -259,18 +394,28 @@ func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix
 				}
 				updSum += float64(updated) / float64(c.Rows)
 				mRowsRewritten.Add(int64(updated))
-				c = written[l].Clone()
+				c.CopyFrom(written[l])
 			}
 		} else {
 			updSum++
 			mRowsRewritten.Add(int64(c.Rows))
 		}
-		fw.combined = append(fw.combined, c)
+		fw.combined[l] = c
 
-		a := adj.MulDense(c)
-		fw.aggregated = append(fw.aggregated, a)
+		a := ws.aggregated[l]
+		ws.adj.MulDenseInto(a, c)
+		fw.aggregated[l] = a
 		if l+1 < layers {
-			mask := a.ReLUMask()
+			mask := ws.maskBuf[l]
+			for i, v := range a.Data {
+				// Same predicate as ReLUMask: NaN and everything ≤ 0
+				// map to 0.
+				if v > 0 {
+					mask.Data[i] = 1
+				} else {
+					mask.Data[i] = 0
+				}
+			}
 			if dropout > 0 {
 				keep := 1 - dropout
 				for i := range mask.Data {
@@ -283,11 +428,13 @@ func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix
 					}
 				}
 			}
-			fw.masks = append(fw.masks, mask)
-			h = a.Clone()
-			h.MulInPlace(mask)
+			fw.masks[l] = mask
+			hw := ws.hidden[l]
+			hw.CopyFrom(a)
+			hw.MulInPlace(mask)
+			h = hw
 		} else {
-			fw.masks = append(fw.masks, nil)
+			fw.masks[l] = nil
 			h = a
 		}
 	}
@@ -296,26 +443,49 @@ func forwardQuant(adj *sparsemat.CSR, x *tensor.Matrix, weights []*tensor.Matrix
 	return fw
 }
 
-// backward runs standard GCN backprop from dOut (gradient w.r.t. the
-// final aggregated output) and returns per-layer weight gradients.
-// Stale rows are treated as the values actually used in the forward
-// pass (the hardware computes gradients with the data it has).
+// backward is the test-facing entry point mirroring the historic free
+// function; fw carries its owning workspace, and a missing Âᵀ (forward
+// built the workspace without one) is filled in here.
 func backward(adj *sparsemat.CSR, fw *forwardState, weights []*tensor.Matrix, dOut *tensor.Matrix) []*tensor.Matrix {
+	ws := fw.ws
+	if ws.adjT == nil {
+		ws.adjT = adj.Transpose()
+	}
+	return ws.backward(fw, weights, dOut)
+}
+
+// backward runs standard GCN backprop from dOut (gradient w.r.t. the
+// final aggregated output) and returns per-layer weight gradients,
+// writing every intermediate into workspace buffers. Stale rows are
+// treated as the values actually used in the forward pass (the
+// hardware computes gradients with the data it has).
+//
+// The aggregation gradient dC = Âᵀ·dA runs as Âᵀ (a CSR built once
+// per run) times dA through the row-parallel MulDense path. For every
+// output element, the serial TMulDense scatter and the Âᵀ-row product
+// both accumulate contributions in ascending source-row order, so the
+// two are byte-identical — this swap is what parallelises the backward
+// aggregation without touching determinism. The in-place mask multiply
+// replaces the historic Clone+MulInPlace: the buffer it mutates
+// (ws.dIn of the layer above, or the caller's dOut which never has a
+// mask) is not read again afterwards.
+func (ws *workspace) backward(fw *forwardState, weights []*tensor.Matrix, dOut *tensor.Matrix) []*tensor.Matrix {
 	layers := len(weights)
-	grads := make([]*tensor.Matrix, layers)
 	dA := dOut
 	for l := layers - 1; l >= 0; l-- {
 		if fw.masks[l] != nil {
-			dA = dA.Clone()
 			dA.MulInPlace(fw.masks[l])
 		}
 		// A = Â·C → dC = Âᵀ·dA.
-		dC := adj.TMulDense(dA)
+		ws.adjT.MulDenseInto(ws.dC[l], dA)
 		// C = H·W → dW = Hᵀ·dC, dH = dC·Wᵀ.
-		grads[l] = tensor.MatMul(fw.inputs[l].T(), dC)
+		tensor.TransposeInto(ws.inputT[l], fw.inputs[l])
+		tensor.MatMulInto(ws.grads[l], ws.inputT[l], ws.dC[l])
 		if l > 0 {
-			dA = tensor.MatMul(dC, weights[l].T())
+			tensor.TransposeInto(ws.wT[l], weights[l])
+			tensor.MatMulInto(ws.dIn[l], ws.dC[l], ws.wT[l])
+			dA = ws.dIn[l]
 		}
 	}
-	return grads
+	return ws.grads
 }

@@ -7,6 +7,7 @@ import (
 
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
+	"gopim/internal/parallel"
 	"gopim/internal/sparsemat"
 	"gopim/internal/tensor"
 )
@@ -105,6 +106,37 @@ func TestTrainValidation(t *testing.T) {
 		}
 	}()
 	Train(inst, Config{Epochs: 0})
+}
+
+// TestTrainDeterministicAcrossWorkers pins the workspace-reusing Train
+// path to byte-identical results at 1, 2 and 8 workers — the blocked
+// GEMM, the Âᵀ-CSR backward aggregation, and every buffer reuse must
+// preserve the exact serial accumulation order. Loss histories are
+// compared as float bits, not approximately.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	inst := smallNodeInstance(t, 300)
+	run := func() Result {
+		return Train(inst, Config{Epochs: 12, Seed: 3, LR: 0.01})
+	}
+	parallel.SetWorkers(1)
+	base := run()
+	defer parallel.SetWorkers(0)
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := run()
+		if got.Accuracy != base.Accuracy {
+			t.Fatalf("workers=%d: accuracy %v vs serial %v", w, got.Accuracy, base.Accuracy)
+		}
+		if got.UpdatedRowFraction != base.UpdatedRowFraction {
+			t.Fatalf("workers=%d: updated-row fraction differs", w)
+		}
+		for i := range base.TrainLoss {
+			if math.Float64bits(got.TrainLoss[i]) != math.Float64bits(base.TrainLoss[i]) {
+				t.Fatalf("workers=%d: epoch %d loss %v vs serial %v",
+					w, i, got.TrainLoss[i], base.TrainLoss[i])
+			}
+		}
+	}
 }
 
 func TestTrainDeterministic(t *testing.T) {

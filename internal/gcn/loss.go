@@ -11,8 +11,19 @@ import (
 // nodeLossGrad computes mean softmax cross-entropy over the training
 // vertices and its gradient w.r.t. the logits.
 func nodeLossGrad(logits *tensor.Matrix, labels []int, trainMask []bool) (float64, *tensor.Matrix) {
-	probs := logits.SoftmaxRows()
+	probs := tensor.New(logits.Rows, logits.Cols)
 	grad := tensor.New(logits.Rows, logits.Cols)
+	loss := nodeLossGradInto(probs, grad, logits, labels, trainMask)
+	return loss, grad
+}
+
+// nodeLossGradInto is the workspace form of nodeLossGrad: probs and
+// grad are caller-owned scratch matching logits' shape, overwritten in
+// full (grad is zeroed first, so rows outside the training mask come
+// back zero exactly as the allocating version returns them).
+func nodeLossGradInto(probs, grad *tensor.Matrix, logits *tensor.Matrix, labels []int, trainMask []bool) float64 {
+	logits.SoftmaxRowsInto(probs)
+	grad.Zero()
 	var loss float64
 	var count int
 	for v := 0; v < logits.Rows; v++ {
@@ -22,7 +33,7 @@ func nodeLossGrad(logits *tensor.Matrix, labels []int, trainMask []bool) (float6
 		count++
 	}
 	if count == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := 1 / float64(count)
 	for v := 0; v < logits.Rows; v++ {
@@ -41,7 +52,7 @@ func nodeLossGrad(logits *tensor.Matrix, labels []int, trainMask []bool) (float6
 		}
 		grow[labels[v]] -= inv
 	}
-	return loss, grad
+	return loss
 }
 
 // nodeAccuracy is argmax accuracy over the test vertices.
@@ -71,6 +82,16 @@ const linkTrainSamples = 512
 // gradient w.r.t. the embeddings.
 func linkLossGrad(rng *rand.Rand, emb *tensor.Matrix, g *graphgen.Graph) (float64, *tensor.Matrix) {
 	grad := tensor.New(emb.Rows, emb.Cols)
+	loss := linkLossGradInto(rng, grad, emb, g)
+	return loss, grad
+}
+
+// linkLossGradInto is the workspace form of linkLossGrad: grad is
+// caller-owned scratch matching emb's shape, zeroed before the pair
+// sampling accumulates into it. The rng draw order is identical to the
+// allocating version.
+func linkLossGradInto(rng *rand.Rand, grad *tensor.Matrix, emb *tensor.Matrix, g *graphgen.Graph) float64 {
+	grad.Zero()
 	var loss float64
 	samples := 0
 
@@ -111,12 +132,12 @@ func linkLossGrad(rng *rand.Rand, emb *tensor.Matrix, g *graphgen.Graph) (float6
 		}
 	}
 	if samples == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := 1 / float64(samples)
 	loss *= inv
 	grad.ScaleInPlace(inv)
-	return loss, grad
+	return loss
 }
 
 // linkAccuracy is the paired ranking accuracy: the fraction of

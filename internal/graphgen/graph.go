@@ -16,6 +16,7 @@ package graphgen
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gopim/internal/sparsemat"
 )
@@ -26,6 +27,14 @@ type Graph struct {
 	adj     *sparsemat.CSR // symmetric binary adjacency, no self loops
 	degrees []int
 	edges   int // undirected edge count
+
+	// Â = D̃^-1/2 (A+I) D̃^-1/2 and its transpose CSR, computed lazily
+	// and cached: accuracy experiments train vanilla and ISU variants
+	// on the same Instance, and the normalisation is identical across
+	// epochs, runs, and worker counts.
+	normOnce sync.Once
+	norm     *sparsemat.CSR
+	normT    *sparsemat.CSR
 }
 
 // FromEdges builds a Graph from undirected edge pairs. Self loops and
@@ -66,6 +75,28 @@ func FromEdges(n int, pairs [][2]int) *Graph {
 
 // Adj returns the symmetric binary adjacency matrix (no self loops).
 func (g *Graph) Adj() *sparsemat.CSR { return g.adj }
+
+// NormAdj returns the cached symmetric normalisation Â of the
+// adjacency (see sparsemat.SymNormalized). The result is shared;
+// callers must not mutate it.
+func (g *Graph) NormAdj() *sparsemat.CSR {
+	g.normOnce.Do(g.computeNorm)
+	return g.norm
+}
+
+// NormAdjT returns the cached transpose of NormAdj as a CSR, letting
+// the GCN backward pass reuse the row-parallel MulDense path. Â is
+// symmetric in values but the explicit transpose keeps the backward
+// accumulation order independent of that fact. Shared; do not mutate.
+func (g *Graph) NormAdjT() *sparsemat.CSR {
+	g.normOnce.Do(g.computeNorm)
+	return g.normT
+}
+
+func (g *Graph) computeNorm() {
+	g.norm = g.adj.SymNormalized()
+	g.normT = g.norm.Transpose()
+}
 
 // Degree returns the degree of vertex v.
 func (g *Graph) Degree(v int) int { return g.degrees[v] }

@@ -25,6 +25,7 @@ func BenchmarkUpdatedRowsPerGroup(b *testing.B) {
 	degs := benchDegrees(100_000)
 	l := InterleavedLayout(degs, 64)
 	p := NewUpdatePlan(degs, 0.5, 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.UpdatedRowsPerGroup(p, i%20)

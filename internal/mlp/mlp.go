@@ -46,30 +46,80 @@ func (n *Net) NumLayers() int { return len(n.Weights) }
 
 // Forward runs a batch (rows = samples) through the network.
 func (n *Net) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out, _ := n.forwardCached(x)
-	return out
+	ws := newNetWorkspace(n, x.Rows)
+	return n.forwardWS(ws, x)
 }
 
-// forwardCached returns the output and every layer's pre-activation,
-// needed for backprop. acts[0] is the input; acts[i] for i ≥ 1 is the
-// post-activation output of layer i-1 (post-ReLU except the last).
-func (n *Net) forwardCached(x *tensor.Matrix) (*tensor.Matrix, []*tensor.Matrix) {
+// netWorkspace owns every matrix one forward/backward pass at a fixed
+// batch size touches, so Fit's epoch loop allocates nothing per batch.
+// Buffers are valid until the next forward call on the same workspace
+// overwrites them; Adam consumes the gradients before that happens.
+type netWorkspace struct {
+	rows int
+	// acts[0] is the input (set per call); acts[i] for i ≥ 1 is the
+	// post-activation output of layer i-1 (post-ReLU except the last).
+	acts []*tensor.Matrix
+	// delta[i] (i ≥ 1) is the loss gradient at the output of layer i-1;
+	// backprop walks it from delta[L] down to delta[1].
+	delta []*tensor.Matrix
+	actT  []*tensor.Matrix // Sizes[i] × rows: acts[i]ᵀ
+	wT    []*tensor.Matrix // Sizes[i+1] × Sizes[i]; nil for layer 0
+	gw    []*tensor.Matrix
+	gb    [][]float64
+	// in/tgt are the mini-batch gather buffers Fit fills row by row.
+	in, tgt *tensor.Matrix
+}
+
+func newNetWorkspace(n *Net, rows int) *netWorkspace {
+	layers := len(n.Weights)
+	ws := &netWorkspace{
+		rows:  rows,
+		acts:  make([]*tensor.Matrix, layers+1),
+		delta: make([]*tensor.Matrix, layers+1),
+		actT:  make([]*tensor.Matrix, layers),
+		wT:    make([]*tensor.Matrix, layers),
+		gw:    make([]*tensor.Matrix, layers),
+		gb:    make([][]float64, layers),
+		in:    tensor.New(rows, n.Sizes[0]),
+		tgt:   tensor.New(rows, n.Sizes[layers]),
+	}
+	for i := 0; i < layers; i++ {
+		ws.acts[i+1] = tensor.New(rows, n.Sizes[i+1])
+		ws.delta[i+1] = tensor.New(rows, n.Sizes[i+1])
+		ws.actT[i] = tensor.New(n.Sizes[i], rows)
+		if i > 0 {
+			ws.wT[i] = tensor.New(n.Sizes[i+1], n.Sizes[i])
+		}
+		ws.gw[i] = tensor.New(n.Sizes[i], n.Sizes[i+1])
+		ws.gb[i] = make([]float64, n.Sizes[i+1])
+	}
+	return ws
+}
+
+// forwardWS runs a batch through the network into workspace buffers
+// and returns the output (aliasing ws.acts[last]). Storing the hidden
+// activations post-ReLU matches the historic forwardCached exactly:
+// backprop's ReLU mask of a post-ReLU activation equals the mask of
+// its pre-activation (NaN included).
+func (n *Net) forwardWS(ws *netWorkspace, x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != n.Sizes[0] {
 		panic(fmt.Sprintf("mlp: input width %d, want %d", x.Cols, n.Sizes[0]))
 	}
-	acts := make([]*tensor.Matrix, 0, len(n.Weights)+1)
-	acts = append(acts, x)
+	if x.Rows != ws.rows {
+		panic(fmt.Sprintf("mlp: batch %d rows, workspace sized for %d", x.Rows, ws.rows))
+	}
+	ws.acts[0] = x
 	cur := x
 	for i, w := range n.Weights {
-		z := tensor.MatMul(cur, w)
+		z := ws.acts[i+1]
+		tensor.MatMulInto(z, cur, w)
 		z.AddRowVector(n.Biases[i])
 		if i+1 < len(n.Weights) {
-			z = z.ReLU()
+			z.ReLUInPlace()
 		}
-		acts = append(acts, z)
 		cur = z
 	}
-	return cur, acts
+	return cur
 }
 
 // grads holds one backward pass's parameter gradients.
@@ -78,17 +128,22 @@ type grads struct {
 	b [][]float64
 }
 
-// backward computes MSE-loss gradients for a batch. pred and target
-// are batch×outputs. Returns loss and gradients.
-func (n *Net) backward(acts []*tensor.Matrix, target *tensor.Matrix) (float64, grads) {
+// backwardWS computes MSE-loss gradients for the batch last run
+// through forwardWS. The returned gradients alias workspace buffers.
+// Every accumulation runs in the historic order; the fused ReLU-mask
+// step multiplies masked entries by zero (never assigns), so signed
+// zeros and NaN propagation match MulInPlace(ReLUMask) bit for bit.
+func (n *Net) backwardWS(ws *netWorkspace, target *tensor.Matrix) (float64, grads) {
 	batch := float64(target.Rows)
-	pred := acts[len(acts)-1]
+	layers := len(n.Weights)
+	pred := ws.acts[layers]
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic(fmt.Sprintf("mlp: target %dx%d vs pred %dx%d", target.Rows, target.Cols, pred.Rows, pred.Cols))
 	}
 	// dL/dpred for MSE = 2(pred − target)/batch; loss = mean squared
 	// error over all entries.
-	delta := pred.Clone()
+	delta := ws.delta[layers]
+	delta.CopyFrom(pred)
 	delta.SubInPlace(target)
 	var loss float64
 	for _, v := range delta.Data {
@@ -97,21 +152,25 @@ func (n *Net) backward(acts []*tensor.Matrix, target *tensor.Matrix) (float64, g
 	loss /= batch * float64(target.Cols)
 	delta.ScaleInPlace(2 / (batch * float64(target.Cols)))
 
-	g := grads{
-		w: make([]*tensor.Matrix, len(n.Weights)),
-		b: make([][]float64, len(n.Weights)),
-	}
-	for i := len(n.Weights) - 1; i >= 0; i-- {
-		in := acts[i]
-		g.w[i] = tensor.MatMul(in.T(), delta)
-		g.b[i] = delta.ColSums()
+	for i := layers - 1; i >= 0; i-- {
+		in := ws.acts[i]
+		tensor.TransposeInto(ws.actT[i], in)
+		tensor.MatMulInto(ws.gw[i], ws.actT[i], delta)
+		delta.ColSumsInto(ws.gb[i])
 		if i > 0 {
 			// Propagate through the previous ReLU.
-			delta = tensor.MatMul(delta, n.Weights[i].T())
-			delta.MulInPlace(acts[i].ReLUMask())
+			tensor.TransposeInto(ws.wT[i], n.Weights[i])
+			tensor.MatMulInto(ws.delta[i], delta, ws.wT[i])
+			delta = ws.delta[i]
+			dd := delta.Data
+			for j, av := range ws.acts[i].Data {
+				if !(av > 0) {
+					dd[j] *= 0
+				}
+			}
 		}
 	}
-	return loss, g
+	return loss, grads{w: ws.gw, b: ws.gb}
 }
 
 // Adam is the Adam optimiser state for one Net.
@@ -169,8 +228,12 @@ func (a *Adam) step(n *Net, g grads) {
 // TrainStep runs one forward/backward pass on a batch and applies an
 // Adam update. It returns the batch's pre-update MSE loss.
 func (n *Net) TrainStep(opt *Adam, x, y *tensor.Matrix) float64 {
-	_, acts := n.forwardCached(x)
-	loss, g := n.backward(acts, y)
+	return n.trainStepWS(newNetWorkspace(n, x.Rows), opt, x, y)
+}
+
+func (n *Net) trainStepWS(ws *netWorkspace, opt *Adam, x, y *tensor.Matrix) float64 {
+	n.forwardWS(ws, x)
+	loss, g := n.backwardWS(ws, y)
 	opt.step(n, g)
 	return loss
 }
@@ -189,6 +252,11 @@ func (n *Net) Fit(rng *rand.Rand, opt *Adam, x, y *tensor.Matrix, epochs, batchS
 	for i := range idx {
 		idx[i] = i
 	}
+	// At most two batch shapes occur — the full batchSize and one
+	// shorter tail — so two workspaces cover the whole run, allocated
+	// once here (the tail lazily) and reused every epoch.
+	full := newNetWorkspace(n, min(batchSize, x.Rows))
+	var tail *netWorkspace
 	var last float64
 	for e := 0; e < epochs; e++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -199,13 +267,18 @@ func (n *Net) Fit(rng *rand.Rand, opt *Adam, x, y *tensor.Matrix, epochs, batchS
 			if e > len(idx) {
 				e = len(idx)
 			}
-			bx := tensor.New(e-s, x.Cols)
-			by := tensor.New(e-s, y.Cols)
-			for r, id := range idx[s:e] {
-				bx.SetRow(r, x.Row(id))
-				by.SetRow(r, y.Row(id))
+			ws := full
+			if e-s != full.rows {
+				if tail == nil {
+					tail = newNetWorkspace(n, e-s)
+				}
+				ws = tail
 			}
-			sum += n.TrainStep(opt, bx, by)
+			for r, id := range idx[s:e] {
+				ws.in.SetRow(r, x.Row(id))
+				ws.tgt.SetRow(r, y.Row(id))
+			}
+			sum += n.trainStepWS(ws, opt, ws.in, ws.tgt)
 			batches++
 		}
 		last = sum / float64(batches)

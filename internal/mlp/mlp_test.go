@@ -66,8 +66,9 @@ func TestGradientsMatchNumerical(t *testing.T) {
 	x := tensor.NewRandom(rng, 6, 3, 1)
 	y := tensor.NewRandom(rng, 6, 2, 1)
 
-	_, acts := n.forwardCached(x)
-	_, g := n.backward(acts, y)
+	ws := newNetWorkspace(n, x.Rows)
+	n.forwardWS(ws, x)
+	_, g := n.backwardWS(ws, y)
 
 	loss := func() float64 {
 		pred := n.Forward(x)

@@ -24,19 +24,24 @@ type ExperimentRecord struct {
 // durations. It is written alongside experiment output so a
 // regenerated experiments_full_output.txt always names its provenance.
 type Manifest struct {
-	Tool        string             `json:"tool"`
-	Args        []string           `json:"args"`
-	Seed        int64              `json:"seed"`
-	Workers     int                `json:"workers"`
-	Format      string             `json:"format"`
-	Fast        bool               `json:"fast"`
-	GoVersion   string             `json:"go_version"`
-	GOOS        string             `json:"goos"`
-	GOARCH      string             `json:"goarch"`
-	GitDescribe string             `json:"git_describe,omitempty"`
-	StartedAt   time.Time          `json:"started_at"`
-	WallMS      float64            `json:"wall_ms"`
-	Experiments []ExperimentRecord `json:"experiments,omitempty"`
+	Tool        string    `json:"tool"`
+	Args        []string  `json:"args"`
+	Seed        int64     `json:"seed"`
+	Workers     int       `json:"workers"`
+	Format      string    `json:"format"`
+	Fast        bool      `json:"fast"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	GitDescribe string    `json:"git_describe,omitempty"`
+	StartedAt   time.Time `json:"started_at"`
+	WallMS      float64   `json:"wall_ms"`
+	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish
+	// runs: live heap bytes and cumulative GC cycles for the process.
+	// Wall-side provenance, like WallMS — never part of Sim diffs.
+	HeapAllocBytes uint64             `json:"heap_alloc_bytes"`
+	GCCount        uint32             `json:"gc_count"`
+	Experiments    []ExperimentRecord `json:"experiments,omitempty"`
 
 	start time.Time
 	mu    sync.Mutex
@@ -70,8 +75,15 @@ func (m *Manifest) Record(id string, wall time.Duration, err error) {
 	m.mu.Unlock()
 }
 
-// Finish stamps the total wall time.
-func (m *Manifest) Finish() { m.WallMS = float64(time.Since(m.start)) / 1e6 }
+// Finish stamps the total wall time and samples the runtime's memory
+// statistics (heap in use, GC cycles) for the provenance record.
+func (m *Manifest) Finish() {
+	m.WallMS = float64(time.Since(m.start)) / 1e6
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapAllocBytes = ms.HeapAlloc
+	m.GCCount = ms.NumGC
+}
 
 // WriteFile writes the manifest as indented JSON.
 func (m *Manifest) WriteFile(path string) error {

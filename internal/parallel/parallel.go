@@ -218,6 +218,35 @@ func For(n, grain int, body func(lo, hi int)) {
 	}
 }
 
+// Serial reports whether For(n, grain, body) would run body serially
+// on the caller (one effective worker). When it returns true it has
+// already recorded the same Sim-clock accounting For would — both
+// counters derive from (n, grain) alone — so a hot kernel can branch
+// on Serial and run its block function directly, never constructing
+// the escaping closure the parallel path needs, without
+// parallel.for_calls or blocks_partitioned drifting across worker
+// counts. When it returns false nothing is counted; the caller must
+// follow up with For, which counts exactly once.
+func Serial(n, grain int) bool {
+	if n <= 0 {
+		return true // For would return without counting, too
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	w := Workers()
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		mForCalls.Inc()
+		mBlocks.Add(int64(blocks))
+		return true
+	}
+	return false
+}
+
 // Map runs fn for every index in [0, n) and returns the results in
 // input order regardless of worker count or scheduling. Each index is
 // its own block (grain 1), so Map suits coarse tasks — experiments,

@@ -116,52 +116,154 @@ const spmmParallelMinFLOPs = 1 << 15
 // stored-column order exactly as the serial loop does, so the result
 // is byte-identical at any worker count.
 func (m *CSR) MulDense(d *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(m.Rows, d.Cols)
+	m.MulDenseInto(out, d)
+	return out
+}
+
+// MulDenseInto computes dst = m · d, reusing dst's storage. dst must
+// be m.Rows × d.Cols and must not alias d. Parallelisation and
+// per-row accumulation order are identical to MulDense, so the two
+// are byte-identical at any worker count.
+func (m *CSR) MulDenseInto(dst, d *tensor.Matrix) {
 	if m.Cols != d.Rows {
 		panic(fmt.Sprintf("sparsemat: MulDense inner dims %d != %d", m.Cols, d.Rows))
 	}
-	out := tensor.New(m.Rows, d.Cols)
-	rows := func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			cols, vals := m.Row(r)
-			orow := out.Row(r)
-			for i, c := range cols {
-				v := vals[i]
-				drow := d.Row(c)
-				for j, dv := range drow {
-					orow[j] += v * dv
-				}
-			}
-		}
+	if dst.Rows != m.Rows || dst.Cols != d.Cols {
+		panic(fmt.Sprintf("sparsemat: MulDenseInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, d.Cols))
+	}
+	if len(dst.Data) > 0 && len(d.Data) > 0 && &dst.Data[0] == &d.Data[0] {
+		panic("sparsemat: MulDenseInto dst must not alias d")
 	}
 	if m.NNZ()*d.Cols < spmmParallelMinFLOPs {
-		rows(0, m.Rows)
-		return out
+		m.mulDenseRows(dst, d, 0, m.Rows)
+		return
 	}
 	// Size blocks by average row cost; power-law rows are imbalanced,
 	// but blocks are claimed dynamically so dense rows just slow their
 	// own block, never the partitioning.
 	avgFlopsPerRow := m.NNZ()*d.Cols/m.Rows + 1
 	grain := spmmParallelMinFLOPs / (4 * avgFlopsPerRow)
-	parallel.For(m.Rows, grain+1, rows)
-	return out
+	// One-worker runs skip the closure build entirely (see
+	// parallel.Serial) so aggregation stays allocation-free on
+	// single-core hosts.
+	if parallel.Serial(m.Rows, grain+1) {
+		m.mulDenseRows(dst, d, 0, m.Rows)
+		return
+	}
+	parallel.For(m.Rows, grain+1, func(lo, hi int) {
+		m.mulDenseRows(dst, d, lo, hi)
+	})
+}
+
+// mulDenseRows computes dst rows [lo, hi) of m·d, each row owned
+// exclusively by its caller block.
+func (m *CSR) mulDenseRows(dst, d *tensor.Matrix, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		cols, vals := m.Row(r)
+		orow := dst.Row(r)
+		for j := range orow {
+			orow[j] = 0
+		}
+		// Pair consecutive nonzeros: each output element still
+		// accumulates one (value, neighbour-row) term at a time in
+		// ascending column order — two separately rounded steps per
+		// pass — so the bits match the one-term-per-pass loop while
+		// orow is loaded and stored half as often.
+		i := 0
+		for ; i+1 < len(cols); i += 2 {
+			v0, v1 := vals[i], vals[i+1]
+			d0 := d.Row(cols[i])
+			d1 := d.Row(cols[i+1])
+			d1 = d1[:len(d0)]
+			ob := orow[:len(d0)]
+			for j, dv := range d0 {
+				t := ob[j] + v0*dv
+				ob[j] = t + v1*d1[j]
+			}
+		}
+		if i < len(cols) {
+			v := vals[i]
+			drow := d.Row(cols[i])
+			ob := orow[:len(drow)]
+			for j, dv := range drow {
+				ob[j] += v * dv
+			}
+		}
+	}
 }
 
 // TMulDense returns mᵀ · d without materialising the transpose.
 // m.Rows must equal d.Rows.
 func (m *CSR) TMulDense(d *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(m.Cols, d.Cols)
+	m.TMulDenseInto(out, d)
+	return out
+}
+
+// TMulDenseInto computes dst = mᵀ · d without materialising the
+// transpose, reusing dst's storage. dst must be m.Cols × d.Cols and
+// must not alias d. The scatter loop is serial: output rows are
+// written in source-row order, so for each output row contributions
+// accumulate in ascending source-row order — exactly the order
+// Transpose().MulDenseInto produces, which is why the GCN backward
+// pass can swap between the two without changing a bit.
+func (m *CSR) TMulDenseInto(dst, d *tensor.Matrix) {
 	if m.Rows != d.Rows {
 		panic(fmt.Sprintf("sparsemat: TMulDense dims %d != %d", m.Rows, d.Rows))
 	}
-	out := tensor.New(m.Cols, d.Cols)
+	if dst.Rows != m.Cols || dst.Cols != d.Cols {
+		panic(fmt.Sprintf("sparsemat: TMulDenseInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Cols, d.Cols))
+	}
+	if len(dst.Data) > 0 && len(d.Data) > 0 && &dst.Data[0] == &d.Data[0] {
+		panic("sparsemat: TMulDenseInto dst must not alias d")
+	}
+	dst.Zero()
 	for r := 0; r < m.Rows; r++ {
 		cols, vals := m.Row(r)
 		drow := d.Row(r)
 		for i, c := range cols {
 			v := vals[i]
-			orow := out.Row(c)
+			orow := dst.Row(c)
 			for j, dv := range drow {
 				orow[j] += v * dv
 			}
+		}
+	}
+}
+
+// Transpose returns mᵀ as a new CSR built by counting sort: O(nnz),
+// and output rows inherit ascending column order from the source row
+// sweep, so the sorted-column invariant holds. The GCN training loop
+// builds Âᵀ once per run and routes the backward aggregation through
+// the row-parallel MulDense path; because each transposed row lists
+// its entries in ascending source-row order, that product accumulates
+// every output element in exactly TMulDense's order.
+func (m *CSR) Transpose() *CSR {
+	nnz := m.NNZ()
+	out := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	for _, c := range m.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for r := 0; r < m.Cols; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	next := make([]int, m.Cols)
+	copy(next, out.RowPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		start, end := m.RowPtr[r], m.RowPtr[r+1]
+		for i := start; i < end; i++ {
+			c := m.ColIdx[i]
+			p := next[c]
+			out.ColIdx[p] = r
+			out.Val[p] = m.Val[i]
+			next[c]++
 		}
 	}
 	return out

@@ -36,6 +36,53 @@ func TestNewFromEntriesSortsAndSums(t *testing.T) {
 	}
 }
 
+// TestNewFromEntriesSortedColumnInvariant pins strictly-ascending
+// column order per row as an invariant of NewFromEntries on randomised
+// input. At binary-searches the column slice, so this invariant is
+// load-bearing: if it ever breaks, At silently misses entries. The
+// map cross-check catches exactly that failure mode.
+func TestNewFromEntriesSortedColumnInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		nnz := rng.Intn(4 * rows)
+		es := make([]Entry, 0, nnz)
+		// Positions are unique so the map comparison below stays exact;
+		// duplicate summation order is TestNewFromEntriesSortsAndSums's
+		// job.
+		want := make(map[[2]int]float64, nnz)
+		for i := 0; i < nnz; i++ {
+			e := Entry{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()}
+			if _, dup := want[[2]int{e.Row, e.Col}]; dup {
+				continue
+			}
+			es = append(es, e)
+			want[[2]int{e.Row, e.Col}] = e.Val
+		}
+		m := NewFromEntries(rows, cols, es)
+		for r := 0; r < rows; r++ {
+			cs, vs := m.Row(r)
+			for i := 1; i < len(cs); i++ {
+				if cs[i] <= cs[i-1] {
+					t.Fatalf("trial %d row %d: columns not strictly ascending: %v", trial, r, cs)
+				}
+			}
+			for i, c := range cs {
+				if got := m.At(r, c); got != vs[i] {
+					t.Fatalf("trial %d: At(%d,%d) = %v, row slice says %v", trial, r, c, got, vs[i])
+				}
+			}
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if got := m.At(r, c); got != want[[2]int{r, c}] {
+					t.Fatalf("trial %d: At(%d,%d) = %v, want %v", trial, r, c, got, want[[2]int{r, c}])
+				}
+			}
+		}
+	}
+}
+
 func TestOutOfRangeEntryPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -199,6 +246,40 @@ func BenchmarkMulDense(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.MulDense(d)
+	}
+}
+
+func BenchmarkMulDenseInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomCSR(rng, 1000, 1000, 10000)
+	d := tensor.NewRandom(rng, 1000, 64, 1)
+	dst := tensor.New(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MulDenseInto(dst, d)
+	}
+}
+
+func BenchmarkTMulDenseInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomCSR(rng, 1000, 1000, 10000)
+	d := tensor.NewRandom(rng, 1000, 64, 1)
+	dst := tensor.New(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TMulDenseInto(dst, d)
+	}
+}
+
+func BenchmarkTransposeCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomCSR(rng, 1000, 1000, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Transpose()
 	}
 }
 

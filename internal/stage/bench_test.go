@@ -18,6 +18,7 @@ func BenchmarkBuildProducts(b *testing.B) {
 		Deg:        d.SynthDegreeModel(1),
 		MicroBatch: 64,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Build(cfg)

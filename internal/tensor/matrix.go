@@ -164,6 +164,26 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
+// TransposeInto computes dst = srcᵀ, reusing dst's storage. dst must
+// be src.Cols × src.Rows and must not alias src. The gather order is
+// the serial one regardless of size: transposes on the training hot
+// path sit inside already-parallel sections, and a copy is exact, so
+// there is no accumulation order to protect.
+func TransposeInto(dst, src *Matrix) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, src.Cols, src.Rows))
+	}
+	if aliases(dst, src) {
+		panic("tensor: TransposeInto dst must not alias src")
+	}
+	for r := 0; r < src.Rows; r++ {
+		row := src.Row(r)
+		for c, v := range row {
+			dst.Data[c*dst.Cols+r] = v
+		}
+	}
+}
+
 // MatMul returns a*b. Panics if the inner dimensions disagree.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
@@ -188,6 +208,19 @@ func aliases(x, y *Matrix) bool {
 // swamp the arithmetic.
 const matmulParallelMinFLOPs = 1 << 16
 
+// GEMM cache-blocking tile sizes (elements). The kernel processes
+// gemmBlockI output rows at a time against kc×jc blocks of b: a
+// 128×128 float64 block of b (128 KiB, L2-resident) is reused across
+// the whole row tile instead of b being re-streamed from memory once
+// per output row. Tiling only reorders the i/j traversal; for every
+// output element the k-summation order is unchanged, which keeps
+// blocked results byte-identical to the unblocked kernel.
+const (
+	gemmBlockI = 32
+	gemmBlockK = 128
+	gemmBlockJ = 128
+)
+
 // MatMulInto computes dst = a*b, reusing dst's storage.
 // dst must be a.Rows × b.Cols and must not alias a or b (checked —
 // aliased storage would silently corrupt the accumulation).
@@ -195,7 +228,10 @@ const matmulParallelMinFLOPs = 1 << 16
 // Large products run row-blocked in parallel: each worker owns a
 // contiguous block of dst rows and accumulates it in the same ikj
 // order as the serial kernel, so the result is byte-identical at any
-// worker count.
+// worker count. Within a row the kernel is cache-blocked over k and j
+// (see gemmBlockK/gemmBlockJ); per output element the accumulation
+// order is still k-ascending with the same zero-skip, so blocking
+// never changes a single output bit.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
@@ -207,31 +243,93 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic("tensor: MatMulInto dst must not alias a or b")
 	}
 	flopsPerRow := a.Cols * b.Cols
-	rows := func(lo, hi int) {
-		// ikj loop order: stream b rows for cache friendliness.
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := dst.Row(i)
-			for j := range orow {
-				orow[j] = 0
+	if a.Rows*flopsPerRow < matmulParallelMinFLOPs {
+		matMulBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	grain := matmulParallelMinFLOPs / (4 * (flopsPerRow + 1))
+	// One-worker runs take the serial path without building the
+	// escaping closure For needs — the training hot loop stays
+	// allocation-free on single-core hosts.
+	if parallel.Serial(a.Rows, grain+1) {
+		matMulBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallel.For(a.Rows, grain+1, func(lo, hi int) {
+		matMulBlock(dst, a, b, lo, hi)
+	})
+}
+
+// matMulBlock computes dst rows [lo, hi) = a[lo:hi]·b with i/k/j
+// tiling. Accumulation per output element stays k-ascending with the
+// historic zero-skip, so the result is byte-identical to the old
+// unblocked ikj loop at any tile size.
+func matMulBlock(dst, a, b *Matrix, lo, hi int) {
+	cols := b.Cols
+	inner := a.Cols
+	for i := lo; i < hi; i++ {
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for i0 := lo; i0 < hi; i0 += gemmBlockI {
+		i1 := i0 + gemmBlockI
+		if i1 > hi {
+			i1 = hi
+		}
+		for k0 := 0; k0 < inner; k0 += gemmBlockK {
+			k1 := k0 + gemmBlockK
+			if k1 > inner {
+				k1 = inner
 			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
+			for j0 := 0; j0 < cols; j0 += gemmBlockJ {
+				j1 := j0 + gemmBlockJ
+				if j1 > cols {
+					j1 = cols
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
+				for i := i0; i < i1; i++ {
+					arow := a.Row(i)
+					ot := dst.Data[i*cols+j0 : i*cols+j1]
+					// Pair consecutive nonzero k-steps: each output
+					// element still receives its updates one k at a
+					// time in ascending order (two separate rounded
+					// add/mul steps per pass), so the bits match the
+					// one-k-per-pass loop while ot is loaded and
+					// stored half as often.
+					k := k0
+					for k < k1 {
+						av0 := arow[k]
+						if av0 == 0 {
+							k++
+							continue
+						}
+						k2 := k + 1
+						for k2 < k1 && arow[k2] == 0 {
+							k2++
+						}
+						bt0 := b.Data[k*cols+j0 : k*cols+j1]
+						ob := ot[:len(bt0)]
+						if k2 < k1 {
+							av1 := arow[k2]
+							bt1 := b.Data[k2*cols+j0 : k2*cols+j1]
+							bt1 = bt1[:len(bt0)]
+							for j, bv := range bt0 {
+								v := ob[j] + av0*bv
+								ob[j] = v + av1*bt1[j]
+							}
+							k = k2 + 1
+						} else {
+							for j, bv := range bt0 {
+								ob[j] += av0 * bv
+							}
+							k = k1
+						}
+					}
 				}
 			}
 		}
 	}
-	if a.Rows*flopsPerRow < matmulParallelMinFLOPs {
-		rows(0, a.Rows)
-		return
-	}
-	grain := matmulParallelMinFLOPs / (4 * (flopsPerRow + 1))
-	parallel.For(a.Rows, grain+1, rows)
 }
 
 // AddInPlace computes m += other element-wise.
@@ -303,6 +401,17 @@ func (m *Matrix) ReLU() *Matrix {
 	})
 }
 
+// ReLUInPlace applies max(x, 0) element-wise in place. The predicate
+// mirrors ReLU exactly (anything not greater than zero, NaN included,
+// becomes 0) so the two paths stay bit-identical.
+func (m *Matrix) ReLUInPlace() {
+	for i, v := range m.Data {
+		if !(v > 0) {
+			m.Data[i] = 0
+		}
+	}
+}
+
 // ReLUMask returns a matrix with 1 where m > 0 and 0 elsewhere —
 // the derivative of ReLU used during backpropagation.
 func (m *Matrix) ReLUMask() *Matrix {
@@ -330,13 +439,25 @@ func (m *Matrix) AddRowVector(v []float64) {
 // ColSums returns the per-column sums of m.
 func (m *Matrix) ColSums() []float64 {
 	sums := make([]float64, m.Cols)
+	m.ColSumsInto(sums)
+	return sums
+}
+
+// ColSumsInto accumulates the per-column sums of m into sums,
+// zeroing it first. len(sums) must equal Cols.
+func (m *Matrix) ColSumsInto(sums []float64) {
+	if len(sums) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(sums), m.Cols))
+	}
+	for c := range sums {
+		sums[c] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		for c, v := range row {
 			sums[c] += v
 		}
 	}
-	return sums
 }
 
 // FrobeniusNorm returns sqrt(Σ x²).
@@ -394,6 +515,17 @@ func (m *Matrix) ArgMaxRow(r int) int {
 // applied to every row.
 func (m *Matrix) SoftmaxRows() *Matrix {
 	out := New(m.Rows, m.Cols)
+	m.SoftmaxRowsInto(out)
+	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of m into out, reusing
+// out's storage. out must match m's shape and not alias it.
+func (m *Matrix) SoftmaxRowsInto(out *Matrix) {
+	m.sameShape(out, "SoftmaxRowsInto")
+	if aliases(out, m) {
+		panic("tensor: SoftmaxRowsInto out must not alias m")
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		orow := out.Row(r)
@@ -416,5 +548,4 @@ func (m *Matrix) SoftmaxRows() *Matrix {
 			orow[c] /= sum
 		}
 	}
-	return out
 }

@@ -313,6 +313,18 @@ func BenchmarkMatMul128(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMulInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewRandom(rng, 128, 128, 1)
+	y := NewRandom(rng, 128, 128, 1)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
 // Property: matrix multiplication is associative.
 func TestMatMulAssociative(t *testing.T) {
 	f := func(seed int64) bool {

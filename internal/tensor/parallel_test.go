@@ -72,6 +72,84 @@ func TestMatMulDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestBlockedMatMulMatchesReference pins the cache-blocked kernel to a
+// plain ikj reference loop, byte for byte. Sizes deliberately straddle
+// the gemmBlockI/K/J tile boundaries (including non-multiples), and a
+// sprinkling of exact zeros exercises the zero-skip, which must fire
+// identically in both kernels for the accumulation orders to agree.
+func TestBlockedMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sz := range []struct{ m, k, n int }{
+		{1, 1, 1},
+		{7, 5, 9},                            // everything inside one tile
+		{gemmBlockI, gemmBlockK, gemmBlockJ}, // exact tile multiples
+		{gemmBlockI + 3, gemmBlockK + 5, gemmBlockJ + 7}, // ragged tails
+		{70, 260, 150}, // several tiles each way
+	} {
+		a := NewRandom(rng, sz.m, sz.k, 1)
+		b := NewRandom(rng, sz.k, sz.n, 1)
+		for i := 0; i < len(a.Data); i += 3 {
+			a.Data[i] = 0 // exercise the zero-skip
+		}
+		ref := New(sz.m, sz.n)
+		for i := 0; i < sz.m; i++ {
+			arow := a.Row(i)
+			orow := ref.Row(i)
+			for k := 0; k < sz.k; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		for _, w := range []int{1, 2, 8} {
+			withWorkers(t, w, func() {
+				got := MatMul(a, b)
+				for i := range ref.Data {
+					if got.Data[i] != ref.Data[i] {
+						t.Fatalf("%dx%dx%d workers=%d: entry %d = %v, reference %v",
+							sz.m, sz.k, sz.n, w, i, got.Data[i], ref.Data[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTransposeInto pins the Into transpose against T() and its
+// shape/alias guards.
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewRandom(rng, 17, 29, 1)
+	dst := New(29, 17)
+	TransposeInto(dst, m)
+	want := m.T()
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("entry %d: %v vs %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected shape panic")
+			}
+		}()
+		TransposeInto(New(17, 29), m)
+	}()
+	sq := NewRandom(rng, 8, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected alias panic")
+		}
+	}()
+	TransposeInto(sq, sq)
+}
+
 // TestTransposeDeterministicAcrossWorkers does the same for the
 // parallel gather transpose.
 func TestTransposeDeterministicAcrossWorkers(t *testing.T) {
