@@ -26,6 +26,16 @@
 //	             experiment fan-out (default: GOPIM_WORKERS env, else
 //	             GOMAXPROCS); output is identical at any worker count
 //
+// Fault-injection flags (see DESIGN.md §Fault model; all off by
+// default — a run without them is byte-identical to one before the
+// fault layer existed):
+//
+//	-fault-rate p        stuck-at cell probability in [0,1]; 0 disables
+//	-fault-seed N        seed for the per-crossbar fault streams
+//	                     (default 1); output is a pure function of it
+//	-fault-verify-max N  write-verify retry budget per row write
+//	                     (default 8)
+//
 // Observability flags (see DESIGN.md §Observability):
 //
 //	-metrics f   write a metrics snapshot on exit (.csv/.json by
@@ -46,6 +56,7 @@ import (
 	"gopim"
 	"gopim/internal/endurance"
 	"gopim/internal/experiments"
+	"gopim/internal/fault"
 	"gopim/internal/gcn"
 	"gopim/internal/mapping"
 	"gopim/internal/trace"
@@ -57,6 +68,9 @@ func main() {
 	fast := flag.Bool("fast", false, "shrink workloads for a quick smoke run")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOPIM_WORKERS env, else GOMAXPROCS)")
+	faultRate := flag.Float64("fault-rate", 0, "stuck-at cell fault probability in [0,1] (0 = faults off)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault streams")
+	faultVerifyMax := flag.Int("fault-verify-max", fault.DefaultVerifyMax, "write-verify retry budget per row write")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot to this file on exit (.csv/.json by extension, else text)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file (default: derived from -metrics/-trace-out)")
@@ -73,6 +87,13 @@ func main() {
 	}
 	gopim.SetWorkers(*workers)
 
+	// Fault flags follow the GOPIM_WORKERS convention rather than the
+	// -format one: invalid values warn (via the obs warn path and the
+	// fault.flags_invalid counter) and fall back to safe defaults, so a
+	// long sweep never dies on a typo'd knob after hours of simulation.
+	faultModel := fault.FromFlags(*faultRate, *faultSeed, *faultVerifyMax)
+	fault.SetDefault(faultModel)
+
 	// Same principle for the observability outputs: open files and bind
 	// the debug listener before any experiment runs.
 	sess, err := startObsSession(obsFlags{
@@ -86,6 +107,10 @@ func main() {
 		fatal(err.Error())
 	}
 	sess.setRunInfo(*seed, *workers, *format, *fast)
+	if faultModel.Enabled() {
+		cfg := faultModel.Config()
+		sess.setFaultInfo(cfg.Rate, cfg.Seed, cfg.VerifyMax)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -55,6 +55,18 @@ func (s *obsSession) setRunInfo(seed int64, workers int, format string, fast boo
 	s.manifest.Fast = fast
 }
 
+// setFaultInfo records the active fault model's sanitised knobs in the
+// run manifest. No-op when faults are off, so default-run manifests
+// keep their pre-fault shape.
+func (s *obsSession) setFaultInfo(rate float64, seed int64, verifyMax int) {
+	if s.manifest == nil || rate <= 0 {
+		return
+	}
+	s.manifest.FaultRate = rate
+	s.manifest.FaultSeed = seed
+	s.manifest.FaultVerifyMax = verifyMax
+}
+
 // startObsSession validates the observability flags and opens their
 // outputs BEFORE any experiment runs: a typo'd path or an unbindable
 // -pprof address must fail a long `gopim all` run up front, not after

@@ -17,9 +17,11 @@ package accel
 
 import (
 	"fmt"
+	"math"
 
 	"gopim/internal/alloc"
 	"gopim/internal/energy"
+	"gopim/internal/fault"
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
 	"gopim/internal/obs"
@@ -42,6 +44,20 @@ var (
 		"total energy per run")
 	mCrossbars = obs.NewDistribution("accel.crossbars_used", obs.Sim,
 		"crossbars used incl. replicas per run")
+
+	// Fault-injection counters. All four stay at zero when fault
+	// injection is off (the snapshot writer drops zero-count metrics,
+	// so default-run snapshots are byte-identical to the pre-fault
+	// ones), and they are pure functions of (workload, fault seed), so
+	// they live on the Sim clock.
+	mFaultyCells = obs.NewCounter("accel.faulty_cells", obs.Sim,
+		"expected stuck cells across the crossbars each run occupies")
+	mWriteRetries = obs.NewCounter("accel.write_retries", obs.Sim,
+		"extra program-verify iterations charged to write-verify retries per run")
+	mRetired = obs.NewCounter("accel.crossbars_retired", obs.Sim,
+		"crossbars excluded from the replica pool by fault retirement")
+	mAllocDegraded = obs.NewCounter("accel.alloc_degraded", obs.Sim,
+		"allocations that ran against a fault-shrunk replica pool")
 )
 
 // recordReport publishes the per-model metrics for one Run.
@@ -158,6 +174,12 @@ type Workload struct {
 	// ThetaOverride forces the selective-updating threshold for
 	// GoPIM-family models (0 = the paper's adaptive θ).
 	ThetaOverride float64
+	// Fault injects ReRAM faults (internal/fault): write-verify retries
+	// stretch row programming, retired crossbars shrink the replica
+	// pool, and ISU striping skips dead crossbars. Nil consults the
+	// process-wide fault.Default(); a disabled model leaves every code
+	// path bit-identical to the fault-free simulator.
+	Fault *fault.Model
 }
 
 func (w *Workload) defaults() {
@@ -199,6 +221,15 @@ type Report struct {
 	// UpdateFraction is the steady-state fraction of vertex rows
 	// rewritten per epoch (1 without ISU).
 	UpdateFraction float64
+	// WriteRetryFactor is the expected program-verify iteration count
+	// per row write relative to the fault-free pass (1 without faults).
+	WriteRetryFactor float64
+	// CrossbarsRetired is how many crossbars fault retirement removed
+	// from the replica pool (0 without faults).
+	CrossbarsRetired int
+	// AllocDegraded reports that the replica allocation ran against a
+	// fault-shrunk pool.
+	AllocDegraded bool
 }
 
 // EnergyPJ is shorthand for the total energy.
@@ -209,6 +240,20 @@ func (r Report) EnergyPJ() float64 { return r.Energy.TotalPJ() }
 // policy, schedule the pipeline, and account energy.
 func Run(kind Kind, w Workload) Report {
 	w.defaults()
+	fm := w.Fault
+	if fm == nil {
+		fm = fault.Default()
+	}
+	retryFactor := 1.0
+	retired := 0
+	if fm.Enabled() {
+		// Every row program becomes a program-verify loop; stretching
+		// ProgramRowNS propagates the retries into both the vertex-update
+		// wall time (stage) and the per-row write energy (energy).
+		retryFactor = fm.RetryFactor(w.Chip.CrossbarCols)
+		w.Chip.WriteRetryFactor = retryFactor
+		retired = fm.Retired(w.Chip.TotalCrossbars(), w.Chip.CellsPerCrossbar())
+	}
 	n := w.Deg.N
 	numMB := (n + w.MicroBatch - 1) / w.MicroBatch
 	if numMB < 1 {
@@ -234,14 +279,25 @@ func Run(kind Kind, w Workload) Report {
 			theta = w.Dataset.AdaptiveTheta()
 		}
 		degs := w.Deg.DegreesByIndex
-		cfg.Layout = mapping.InterleavedLayout(degs, w.Chip.CrossbarRows)
+		if fm.Enabled() {
+			// Stripe around retired crossbars: the logical degree mix is
+			// identical, so the timing model is untouched, but ISU
+			// updates land on healthy cells.
+			needed := (len(degs) + w.Chip.CrossbarRows - 1) / w.Chip.CrossbarRows
+			cfg.Layout = mapping.InterleavedLayoutHealthy(degs, w.Chip.CrossbarRows,
+				fm.DeadGroups(needed, w.Chip.CellsPerCrossbar()))
+		} else {
+			cfg.Layout = mapping.InterleavedLayout(degs, w.Chip.CrossbarRows)
+		}
 		cfg.Plan = mapping.NewUpdatePlan(degs, theta, 20)
 		updateFraction = cfg.Plan.AvgUpdateFraction()
 	}
 	stages := stage.Build(cfg)
 
 	// Shared crossbar budget: whatever the chip has beyond the original
-	// mappings.
+	// mappings. Fault-retired crossbars come out of this free pool (the
+	// original mappings are re-placed on healthy crossbars), via the
+	// Request's RetiredCrossbars so the policies clamp gracefully.
 	originals := stage.TotalCrossbars(stages)
 	budget := w.Chip.TotalCrossbars() - originals
 	if budget < 0 {
@@ -276,6 +332,7 @@ func Run(kind Kind, w Workload) Report {
 
 	req := alloc.FromStages(stages, budget, numMB)
 	req.MaxReplicas = caps
+	req.RetiredCrossbars = retired
 	allocTimes := req.TimesNS
 	if w.PredictedTimes != nil {
 		if len(w.PredictedTimes) != len(stages) {
@@ -287,7 +344,7 @@ func Run(kind Kind, w Workload) Report {
 	var res alloc.Result
 	switch kind {
 	case Serial, PlusPP, PlusISU:
-		res = alloc.Result{Replicas: onesFor(stages)}
+		res = alloc.Result{Replicas: onesFor(stages), Degraded: retired > 0 && budget > 0}
 	case SlimGNNLike:
 		res = alloc.SpaceProportional(req)
 	case Pipelayer:
@@ -350,9 +407,35 @@ func Run(kind Kind, w Workload) Report {
 		IdleFrac:          sched.IdleFrac,
 		MicroBatches:      numMB,
 		UpdateFraction:    updateFraction,
+		WriteRetryFactor:  retryFactor,
+		CrossbarsRetired:  retired,
+		AllocDegraded:     res.Degraded,
+	}
+	if fm.Enabled() {
+		recordFault(fm, rep, stages, w.Chip)
 	}
 	recordReport(rep)
 	return rep
+}
+
+// recordFault publishes the fault-injection counters for one run.
+// Only called with injection active, so all four metrics stay at zero
+// — and out of snapshots — on fault-free runs.
+func recordFault(fm *fault.Model, rep Report, stages []stage.Stage, chip reram.Chip) {
+	mFaultyCells.Add(fm.ExpectedStuckCells(rep.CrossbarsUsed, chip.CellsPerCrossbar()))
+	// Extra program-verify iterations: each of the epoch's row writes
+	// runs (factor−1)·WriteVerifyCycles additional pulses.
+	var writeRows float64
+	for _, s := range stages {
+		writeRows += s.WriteRows
+	}
+	writeRows *= float64(rep.MicroBatches)
+	mWriteRetries.Add(int64(math.Round(writeRows *
+		(rep.WriteRetryFactor - 1) * float64(chip.WriteVerifyCycles))))
+	mRetired.Add(int64(rep.CrossbarsRetired))
+	if rep.AllocDegraded {
+		mAllocDegraded.Inc()
+	}
 }
 
 func onesFor(stages []stage.Stage) []int {

@@ -1,0 +1,86 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"gopim/internal/fault"
+	"gopim/internal/reram"
+)
+
+// The ISSUE acceptance scenario: a fault model aggressive enough to
+// retire ~20% of crossbars must still yield a valid GoPIM schedule —
+// fewer replicas, longer makespan, never a panic — and surface the
+// damage in the report.
+func TestTwentyPercentRetiredStillSchedules(t *testing.T) {
+	w := ddiWorkload(t)
+	clean := Run(GoPIM, w)
+
+	// Rate 1e-3 over 64×64-cell crossbars is Poisson(4.1) stuck cells;
+	// a retire threshold at ~5.7 cells puts roughly a fifth of the
+	// population over it.
+	fm := fault.MustNew(fault.Config{Rate: 1e-3, Seed: 3, RetireThreshold: 0.0014})
+	cells := reram.DefaultChip().CellsPerCrossbar()
+	if f := fm.RetiredFraction(cells); f < 0.10 || f > 0.35 {
+		t.Fatalf("retired fraction %v, want the ~20%% acceptance regime", f)
+	}
+
+	w.Fault = fm
+	faulty := Run(GoPIM, w)
+
+	if faulty.CrossbarsRetired <= 0 {
+		t.Fatal("report must count retired crossbars")
+	}
+	if !faulty.AllocDegraded {
+		t.Fatal("report must flag the degraded allocation")
+	}
+	if faulty.WriteRetryFactor <= 1 {
+		t.Fatalf("write-retry factor %v, want > 1 under faults", faulty.WriteRetryFactor)
+	}
+	if faulty.MakespanNS <= clean.MakespanNS {
+		t.Fatalf("faulty makespan %v must exceed clean %v (retries + fewer replicas)",
+			faulty.MakespanNS, clean.MakespanNS)
+	}
+	if faulty.MakespanNS <= 0 || math.IsNaN(faulty.MakespanNS) || math.IsInf(faulty.MakespanNS, 0) {
+		t.Fatalf("invalid faulty makespan %v", faulty.MakespanNS)
+	}
+	if faulty.CrossbarsUsed <= 0 {
+		t.Fatal("schedule must still place crossbars")
+	}
+}
+
+// Every mode must survive the degraded pool without panicking.
+func TestAllModesSurviveFaults(t *testing.T) {
+	w := ddiWorkload(t)
+	w.Fault = fault.MustNew(fault.Config{Rate: 1e-3, Seed: 3, RetireThreshold: 0.0014})
+	for _, k := range []Kind{Serial, SlimGNNLike, ReGraphX, ReFlip, GoPIMVanilla, GoPIM, PlusPP, PlusISU} {
+		r := Run(k, w)
+		if r.MakespanNS <= 0 || math.IsNaN(r.MakespanNS) {
+			t.Fatalf("%v: invalid makespan %v under faults", k, r.MakespanNS)
+		}
+	}
+}
+
+// A disabled fault model must be invisible: bit-identical report to a
+// run with no model at all.
+func TestZeroRateReportUnchanged(t *testing.T) {
+	w := ddiWorkload(t)
+	base := Run(GoPIM, w)
+	w.Fault = fault.MustNew(fault.Config{Rate: 0, Seed: 99})
+	got := Run(GoPIM, w)
+	if math.Float64bits(got.MakespanNS) != math.Float64bits(base.MakespanNS) {
+		t.Fatalf("rate-0 makespan %v differs from fault-free %v", got.MakespanNS, base.MakespanNS)
+	}
+	if math.Float64bits(got.EnergyPJ()) != math.Float64bits(base.EnergyPJ()) {
+		t.Fatalf("rate-0 energy differs")
+	}
+	if got.CrossbarsUsed != base.CrossbarsUsed {
+		t.Fatalf("rate-0 crossbar count differs")
+	}
+	if got.CrossbarsRetired != 0 || got.AllocDegraded {
+		t.Fatal("rate-0 run must not report fault damage")
+	}
+	if got.WriteRetryFactor > 1 {
+		t.Fatalf("rate-0 retry factor %v", got.WriteRetryFactor)
+	}
+}

@@ -32,6 +32,11 @@ type Request struct {
 	// Budget is the number of unused crossbars available for replicas
 	// (beyond the original mapping, which is already placed).
 	Budget int
+	// RetiredCrossbars is how many of the budget crossbars fault
+	// retirement has removed from the free pool (internal/fault). The
+	// policies allocate from Budget − RetiredCrossbars, clamped at 0 —
+	// a shrinking pool yields fewer replicas, never an error.
+	RetiredCrossbars int
 	// MicroBatches is B in equation (6).
 	MicroBatches int
 	// MinRelBenefit stops the greedy when the best single-replica gain
@@ -63,6 +68,9 @@ func (r Request) validate() error {
 	if r.Budget < 0 {
 		return fmt.Errorf("alloc: negative budget %d", r.Budget)
 	}
+	if r.RetiredCrossbars < 0 {
+		return fmt.Errorf("alloc: negative retired crossbars %d", r.RetiredCrossbars)
+	}
 	if r.MicroBatches < 1 {
 		return fmt.Errorf("alloc: micro-batches %d must be ≥ 1", r.MicroBatches)
 	}
@@ -80,11 +88,29 @@ func (r Request) validate() error {
 	return nil
 }
 
+// effectiveBudget is the free pool the policies may actually spend:
+// the nominal budget minus fault-retired crossbars, never negative.
+func (r Request) effectiveBudget() int {
+	b := r.Budget - r.RetiredCrossbars
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
 // Result is an allocation: replica counts (≥ 1, counting the original
 // mapping) and the number of budget crossbars consumed.
 type Result struct {
 	Replicas []int
 	Used     int
+	// Degraded reports that fault retirement shrank the pool this
+	// allocation drew from (the accel.alloc_degraded signal).
+	Degraded bool
+}
+
+// degraded reports whether retirement actually removed capacity.
+func (r Request) degraded() bool {
+	return r.RetiredCrossbars > 0 && r.Budget > 0
 }
 
 // FromStages builds a Request from stage models.
@@ -177,11 +203,12 @@ func Greedy(req Request) Result {
 	n := len(req.TimesNS)
 	replicas := onesLike(n)
 	used := 0
+	budget := req.effectiveBudget()
 
 	hv := &maxHeap{} // adjustment values
 	hp := &maxHeap{} // effective durations
 	for i := range req.TimesNS {
-		if !req.Replicable[i] || req.Crossbars[i] > req.Budget {
+		if !req.Replicable[i] || req.Crossbars[i] > budget {
 			continue
 		}
 		heap.Push(hv, node{key: benefit(req, replicas, i), value: i})
@@ -209,7 +236,7 @@ func Greedy(req Request) Result {
 		}
 		i := v.value
 		cost := req.Crossbars[i]
-		if cost > req.Budget-used || replicas[i] >= req.capOf(i) {
+		if cost > budget-used || replicas[i] >= req.capOf(i) {
 			// Cannot afford the most valuable stage (or it is at its
 			// usefulness cap); drop it and try the next.
 			heap.Pop(hv)
@@ -229,7 +256,7 @@ func Greedy(req Request) Result {
 			}
 		}
 	}
-	return Result{Replicas: replicas, Used: used}
+	return Result{Replicas: replicas, Used: used, Degraded: req.degraded()}
 }
 
 // EqualSplit gives every replicable stage the same replica count, the
@@ -246,9 +273,9 @@ func EqualSplit(req Request) Result {
 	}
 	replicas := onesLike(len(req.TimesNS))
 	if perSet == 0 {
-		return Result{Replicas: replicas}
+		return Result{Replicas: replicas, Degraded: req.degraded()}
 	}
-	extra := req.Budget / perSet
+	extra := req.effectiveBudget() / perSet
 	used := 0
 	for i := range req.TimesNS {
 		if req.Replicable[i] {
@@ -260,7 +287,7 @@ func EqualSplit(req Request) Result {
 			used += add * req.Crossbars[i]
 		}
 	}
-	return Result{Replicas: replicas, Used: used}
+	return Result{Replicas: replicas, Used: used, Degraded: req.degraded()}
 }
 
 // FixedRatio allocates replicas to Combination-family stages (CO, LC)
@@ -292,9 +319,9 @@ func FixedRatio(req Request, coWeight, agWeight int) Result {
 	}
 	replicas := onesLike(len(req.TimesNS))
 	if perRound == 0 {
-		return Result{Replicas: replicas}
+		return Result{Replicas: replicas, Degraded: req.degraded()}
 	}
-	rounds := req.Budget / perRound
+	rounds := req.effectiveBudget() / perRound
 	used := 0
 	for i := range req.TimesNS {
 		if req.Replicable[i] {
@@ -306,7 +333,7 @@ func FixedRatio(req Request, coWeight, agWeight int) Result {
 			used += add * req.Crossbars[i]
 		}
 	}
-	return Result{Replicas: replicas, Used: used}
+	return Result{Replicas: replicas, Used: used, Degraded: req.degraded()}
 }
 
 // SpaceProportional allocates replicas proportionally to each stage's
@@ -334,9 +361,9 @@ func CombinationOnly(req Request) Result {
 	}
 	replicas := onesLike(len(req.TimesNS))
 	if perSet == 0 {
-		return Result{Replicas: replicas}
+		return Result{Replicas: replicas, Degraded: req.degraded()}
 	}
-	extra := req.Budget / perSet
+	extra := req.effectiveBudget() / perSet
 	used := 0
 	for i := range req.TimesNS {
 		if req.Replicable[i] && req.Kinds[i] == stage.Combination {
@@ -348,7 +375,7 @@ func CombinationOnly(req Request) Result {
 			used += add * req.Crossbars[i]
 		}
 	}
-	return Result{Replicas: replicas, Used: used}
+	return Result{Replicas: replicas, Used: used, Degraded: req.degraded()}
 }
 
 // Optimal exhaustively searches replica assignments up to maxReplicas
@@ -361,6 +388,7 @@ func Optimal(req Request, maxReplicas int) Result {
 		panic(err)
 	}
 	n := len(req.TimesNS)
+	budget := req.effectiveBudget()
 	best := onesLike(n)
 	bestT := TotalTimeNS(req.TimesNS, best, req.MicroBatches)
 	bestUsed := 0
@@ -383,7 +411,7 @@ func Optimal(req Request, maxReplicas int) Result {
 		}
 		for r := 1; r <= maxR; r++ {
 			extra := (r - 1) * req.Crossbars[i]
-			if used+extra > req.Budget {
+			if used+extra > budget {
 				break
 			}
 			cur[i] = r
@@ -394,5 +422,5 @@ func Optimal(req Request, maxReplicas int) Result {
 	rec(0, 0)
 	out := make([]int, n)
 	copy(out, best)
-	return Result{Replicas: out, Used: bestUsed}
+	return Result{Replicas: out, Used: bestUsed, Degraded: req.degraded()}
 }

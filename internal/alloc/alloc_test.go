@@ -313,3 +313,92 @@ func TestGreedyStopsOnDiminishingReturns(t *testing.T) {
 		t.Fatalf("greedy used %d crossbars, far past the benefit floor", res.Used)
 	}
 }
+
+// Fault retirement shrinks the pool every policy draws from; the
+// policies degrade to fewer replicas and flag the degradation, never
+// panic or go negative.
+func TestRetiredCrossbarsShrinkBudget(t *testing.T) {
+	req := twoStage(6)
+	req.RetiredCrossbars = 3 // effective budget 3
+	for name, res := range map[string]Result{
+		"greedy":  Greedy(req),
+		"equal":   EqualSplit(req),
+		"ratio":   FixedRatio(req, 1, 2),
+		"coonly":  CombinationOnly(req),
+		"optimal": Optimal(req, 8),
+	} {
+		if res.Used > 3 {
+			t.Fatalf("%s: spent %d crossbars from an effective budget of 3", name, res.Used)
+		}
+		if !res.Degraded {
+			t.Fatalf("%s: retirement shrank the pool but Degraded is false", name)
+		}
+		for i, rep := range res.Replicas {
+			if rep < 1 {
+				t.Fatalf("%s: stage %d replica count %d < 1", name, i, rep)
+			}
+		}
+	}
+	// Without retirement the same request is not degraded.
+	if res := Greedy(twoStage(6)); res.Degraded {
+		t.Fatal("fault-free allocation reported Degraded")
+	}
+}
+
+// Retirement can exceed the nominal budget: the pool clamps to empty
+// and every policy returns the valid no-replica plan.
+func TestRetirementEmptiesPool(t *testing.T) {
+	req := twoStage(5)
+	req.RetiredCrossbars = 1000
+	for name, res := range map[string]Result{
+		"greedy":  Greedy(req),
+		"equal":   EqualSplit(req),
+		"ratio":   FixedRatio(req, 1, 2),
+		"coonly":  CombinationOnly(req),
+		"optimal": Optimal(req, 4),
+	} {
+		if res.Used != 0 {
+			t.Fatalf("%s: used %d crossbars from an empty pool", name, res.Used)
+		}
+		for i, rep := range res.Replicas {
+			if rep != 1 {
+				t.Fatalf("%s: stage %d got %d replicas with no healthy capacity", name, i, rep)
+			}
+		}
+		if !res.Degraded {
+			t.Fatalf("%s: an emptied pool must report Degraded", name)
+		}
+	}
+}
+
+// A near-empty pool that affords some stages but not others still
+// yields a consistent plan.
+func TestNearEmptyPoolPartialAfford(t *testing.T) {
+	req := Request{
+		TimesNS:          []float64{5, 9},
+		Crossbars:        []int{1, 100},
+		Replicable:       []bool{true, true},
+		Kinds:            []stage.Kind{stage.Combination, stage.Aggregation},
+		Budget:           8,
+		RetiredCrossbars: 6, // effective budget 2: only stage 0 fits
+		MicroBatches:     4,
+	}
+	res := Greedy(req)
+	if res.Replicas[1] != 1 {
+		t.Fatalf("unaffordable stage got %d replicas", res.Replicas[1])
+	}
+	if res.Used > 2 {
+		t.Fatalf("greedy overspent the effective budget: %d", res.Used)
+	}
+}
+
+func TestNegativeRetiredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative RetiredCrossbars must be rejected")
+		}
+	}()
+	req := twoStage(4)
+	req.RetiredCrossbars = -1
+	Greedy(req)
+}

@@ -77,6 +77,7 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 	rows := map[string]*attribRow{}
 	stages := map[string]bool{}
 	var rowsRewritten, rowsTotal float64
+	var faultyCells, writeRetries, retired, degraded float64
 	get := func(labels map[string]string) *attribRow {
 		key := labels["dataset"] + "\x00" + labels["model"]
 		r := rows[key]
@@ -97,6 +98,14 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 				rowsRewritten, _ = strconv.ParseFloat(m.Value, 64)
 			case m.Name == "gcn.rows_total" && m.Field == "count":
 				rowsTotal, _ = strconv.ParseFloat(m.Value, 64)
+			case m.Name == "accel.faulty_cells" && m.Field == "count":
+				faultyCells, _ = strconv.ParseFloat(m.Value, 64)
+			case m.Name == "accel.write_retries" && m.Field == "count":
+				writeRetries, _ = strconv.ParseFloat(m.Value, 64)
+			case m.Name == "accel.crossbars_retired" && m.Field == "count":
+				retired, _ = strconv.ParseFloat(m.Value, 64)
+			case m.Name == "accel.alloc_degraded" && m.Field == "count":
+				degraded, _ = strconv.ParseFloat(m.Value, 64)
 			}
 			continue
 		}
@@ -203,6 +212,13 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"ISU write traffic during GCN training: %.0f of %.0f rows rewritten (%.1f%%)",
 			rowsRewritten, rowsTotal, 100*rowsRewritten/rowsTotal))
+	}
+	// Fault-injection footprint, when the run had faults on: how much of
+	// the makespan/crossbar story above is fault-driven.
+	if faultyCells > 0 || writeRetries > 0 || retired > 0 || degraded > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"fault injection: %.0f stuck cells expected on placed crossbars, %.0f extra write-verify cycles, %.0f crossbars retired, %.0f degraded allocations",
+			faultyCells, writeRetries, retired, degraded))
 	}
 	return res, nil
 }

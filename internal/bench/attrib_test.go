@@ -75,6 +75,45 @@ func TestAttributionPivot(t *testing.T) {
 	}
 }
 
+// Fault counters in the snapshot surface as a note; their absence (the
+// default, fault-free case) leaves the report without one.
+func TestAttributionFaultNote(t *testing.T) {
+	res, err := Attribution(attribMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "fault injection") {
+			t.Fatalf("fault note in a fault-free snapshot: %q", n)
+		}
+	}
+
+	withFaults := append(attribMetrics(),
+		sim("accel.faulty_cells", "count", "8400"),
+		sim("accel.write_retries", "count", "120000"),
+		sim("accel.crossbars_retired", "count", "37"),
+		sim("accel.alloc_degraded", "count", "2"),
+	)
+	res, err = Attribution(withFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var note string
+	for _, n := range res.Notes {
+		if strings.Contains(n, "fault injection") {
+			note = n
+		}
+	}
+	if note == "" {
+		t.Fatalf("no fault note despite fault counters; notes: %v", res.Notes)
+	}
+	for _, want := range []string{"8400", "120000", "37 crossbars retired", "2 degraded"} {
+		if !strings.Contains(note, want) {
+			t.Errorf("fault note missing %q: %q", want, note)
+		}
+	}
+}
+
 func TestAttributionRejectsUnlabelledSnapshot(t *testing.T) {
 	if _, err := Attribution([]MetricValue{sim("pipeline.simulations", "count", "3")}); err == nil {
 		t.Error("snapshot without labelled accel series accepted")

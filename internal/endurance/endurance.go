@@ -33,16 +33,36 @@ type Profile struct {
 }
 
 // Validate reports a descriptive error for nonsensical profiles.
+// NaN compares false against everything, so the positivity checks
+// alone would wave NaN through — it and ±Inf are rejected explicitly.
 func (p Profile) Validate() error {
 	switch {
+	case math.IsNaN(p.WritesPerVertexPerEpoch) || math.IsInf(p.WritesPerVertexPerEpoch, 0):
+		return fmt.Errorf("endurance: writes/vertex/epoch %v must be finite", p.WritesPerVertexPerEpoch)
 	case p.WritesPerVertexPerEpoch <= 0:
 		return fmt.Errorf("endurance: writes/vertex/epoch %v must be positive", p.WritesPerVertexPerEpoch)
 	case p.EpochsPerRun < 1:
 		return fmt.Errorf("endurance: epochs %d must be ≥ 1", p.EpochsPerRun)
+	case math.IsNaN(p.RunsPerDay) || math.IsInf(p.RunsPerDay, 0):
+		return fmt.Errorf("endurance: runs/day %v must be finite", p.RunsPerDay)
 	case p.RunsPerDay <= 0:
 		return fmt.Errorf("endurance: runs/day %v must be positive", p.RunsPerDay)
 	}
 	return nil
+}
+
+// TotalCellWrites is the writes one always-updated cell absorbs over
+// `days` of the profile's traffic — the quantity fault.
+// WearStuckFraction turns into a stuck-cell fraction, coupling the
+// endurance model to the fault layer.
+func TotalCellWrites(p Profile, updateFraction, days float64) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if days < 0 || math.IsNaN(days) || math.IsInf(days, 0) {
+		panic(fmt.Sprintf("endurance: days %v must be finite and non-negative", days))
+	}
+	return CellWritesPerEpoch(p, updateFraction) * float64(p.EpochsPerRun) * p.RunsPerDay * days
 }
 
 // CellWritesPerEpoch returns, for a vertex updated with the given

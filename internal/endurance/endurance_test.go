@@ -91,3 +91,33 @@ func TestSRAMAdvantage(t *testing.T) {
 		t.Fatalf("SRAM advantage = %v, want 1e8 (paper §IV-A)", got)
 	}
 }
+
+func TestValidateRejectsNaNInf(t *testing.T) {
+	good := Profile{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	for _, p := range []Profile{
+		{WritesPerVertexPerEpoch: math.NaN(), EpochsPerRun: 200, RunsPerDay: 10},
+		{WritesPerVertexPerEpoch: math.Inf(1), EpochsPerRun: 200, RunsPerDay: 10},
+		{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: math.NaN()},
+		{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: math.Inf(1)},
+		{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: math.Inf(-1)},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted non-finite profile %+v", p)
+		}
+	}
+}
+
+func TestTotalCellWrites(t *testing.T) {
+	p := Profile{WritesPerVertexPerEpoch: 1, EpochsPerRun: 200, RunsPerDay: 10}
+	// 1 write/epoch × 200 epochs × 10 runs/day × 50 days = 1e5 writes.
+	if got := TotalCellWrites(p, 1, 50); got != 1e5 {
+		t.Fatalf("TotalCellWrites = %v, want 1e5", got)
+	}
+	// A stale-period-20 cold row absorbs 1/20th of that.
+	if got := TotalCellWrites(p, 1.0/20, 50); got != 5e3 {
+		t.Fatalf("cold-row TotalCellWrites = %v, want 5e3", got)
+	}
+}

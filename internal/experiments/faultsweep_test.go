@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gopim/internal/fault"
+)
+
+// The sweep's rate-0 rows are its own per-θ baselines (Δ = +0.00) and
+// the whole table must be independent of the process-wide fault
+// default — the CLI flags must not leak into experiment results.
+func TestFaultsweepBaselinesAndIsolation(t *testing.T) {
+	res, err := Run("faultsweep", fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 2 θ × 3 fast rates
+		t.Fatalf("rows = %d, want 6:\n%v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1] == "0e+00" && row[3] != "+0.00 pts" {
+			t.Fatalf("rate-0 row is its own baseline, got Δ %q", row[3])
+		}
+	}
+
+	fault.SetDefault(fault.MustNew(fault.Config{Rate: 0.05, Seed: 777}))
+	defer fault.SetDefault(nil)
+	again, err := Run("faultsweep", fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if strings.Join(again.Rows[i], "|") != strings.Join(res.Rows[i], "|") {
+			t.Fatalf("row %d changed under a process-wide fault default:\n%v\nvs\n%v",
+				i, res.Rows[i], again.Rows[i])
+		}
+	}
+}
+
+// Faults must actually cost accuracy at the sweep's top rate — the
+// point of the experiment is a visible degradation curve.
+func TestFaultsweepDegrades(t *testing.T) {
+	res, err := Run("faultsweep", fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDegradation := false
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row[3], "-") {
+			sawDegradation = true
+		}
+		if row[1] != "0e+00" && row[4] == "1.0x" && row[5] == "0.00%" {
+			t.Fatalf("faulty row shows no hardware cost: %v", row)
+		}
+	}
+	if !sawDegradation {
+		t.Log("no negative Δ at fast scale — acceptable, but flagging for full runs")
+	}
+}

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"gopim/internal/endurance"
+	"gopim/internal/mapping"
+)
+
+// The endurance–fault coupling: a training profile whose cell write
+// traffic crosses ReRAMWriteLimit must produce the wear-out stuck
+// cells the fault layer predicts — at least half the cells of an
+// always-rewritten row stuck, retry factors saturating at the verify
+// budget — while the same profile kept under the limit by ISU's stale
+// refreshes stays essentially fault-free.
+func TestEnduranceProfileCrossingLimitWearsCells(t *testing.T) {
+	prof := endurance.Profile{
+		WritesPerVertexPerEpoch: 1,
+		EpochsPerRun:            200,
+		RunsPerDay:              50, // 1e4 cell writes/day for hot rows
+	}
+
+	// Run the array until the hot rows' lifetime is exhausted (the day
+	// LifetimeDays predicts), then ask the fault layer what is stuck.
+	hotDays := endurance.LifetimeDays(prof, 1, endurance.ReRAMWriteLimit)
+	hotWrites := endurance.TotalCellWrites(prof, 1, hotDays)
+	if math.Abs(hotWrites-endurance.ReRAMWriteLimit) > 1 {
+		t.Fatalf("lifetime accounting mismatch: %v writes at end of life, want %v",
+			hotWrites, endurance.ReRAMWriteLimit)
+	}
+	if f := WearStuckFraction(hotWrites); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("at end of life the fault layer predicts %v stuck, want 0.5", f)
+	}
+
+	worn := MustNew(Config{Seed: 1, WearWritesPerCell: hotWrites})
+	if !worn.Enabled() {
+		t.Fatal("a profile at the write limit must enable the fault model")
+	}
+	if got := worn.EffectiveRate(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("effective rate %v, want the wear fraction 0.5", got)
+	}
+	// Half the cells stuck drives every row write to its retry budget.
+	if f := worn.RetryFactor(64); f != float64(DefaultVerifyMax) {
+		t.Fatalf("worn-out retry factor %v, want saturation at %d", f, DefaultVerifyMax)
+	}
+
+	// ISU's cold rows (stale period 20) see 1/20th of the traffic at
+	// the same calendar day, and the fault layer agrees they are fine:
+	// the 20× write reduction is the array-life extension of §IV-A.
+	plan := &mapping.UpdatePlan{Theta: 0.5, StalePeriod: 20}
+	coldWrites := endurance.TotalCellWrites(prof, 1/float64(plan.StalePeriod), hotDays)
+	cold := MustNew(Config{Seed: 1, WearWritesPerCell: coldWrites})
+	if f := cold.EffectiveRate(); f > 1e-6 {
+		t.Fatalf("cold rows at 1/20th traffic already %v stuck", f)
+	}
+	if f := cold.RetryFactor(64); f > 1.001 {
+		t.Fatalf("cold-row retry factor %v, want ≈ 1", f)
+	}
+}

@@ -1,0 +1,107 @@
+package gcn
+
+import (
+	"math"
+	"testing"
+
+	"gopim/internal/fault"
+	"gopim/internal/mapping"
+	"gopim/internal/parallel"
+)
+
+// A disabled fault model must leave training byte-identical to no
+// model at all: the masks gate on Enabled(), so the rate-0 path is
+// structurally the same code.
+func TestFaultDisabledMatchesNoFault(t *testing.T) {
+	inst := smallNodeInstance(t, 200)
+	base := Train(inst, Config{Epochs: 10, Seed: 5, LR: 0.01, QuantBits: 16})
+	off := fault.MustNew(fault.Config{Rate: 0, Seed: 9})
+	got := Train(inst, Config{Epochs: 10, Seed: 5, LR: 0.01, QuantBits: 16, Fault: off})
+	if got.Accuracy != base.Accuracy {
+		t.Fatalf("disabled fault model changed accuracy: %v vs %v", got.Accuracy, base.Accuracy)
+	}
+	for i := range base.TrainLoss {
+		if math.Float64bits(got.TrainLoss[i]) != math.Float64bits(base.TrainLoss[i]) {
+			t.Fatalf("epoch %d loss differs with a disabled fault model", i)
+		}
+	}
+}
+
+// Fault injection must be reproducible — same model, same damage —
+// and actually perturb training relative to the fault-free run.
+func TestFaultMasksDegradeDeterministically(t *testing.T) {
+	inst := smallNodeInstance(t, 200)
+	clean := Train(inst, Config{Epochs: 10, Seed: 5, LR: 0.01, QuantBits: 16})
+	cfg := Config{Epochs: 10, Seed: 5, LR: 0.01, QuantBits: 16,
+		Fault: fault.MustNew(fault.Config{Rate: 0.02, Seed: 7})}
+	a := Train(inst, cfg)
+	b := Train(inst, cfg)
+	for i := range a.TrainLoss {
+		if math.Float64bits(a.TrainLoss[i]) != math.Float64bits(b.TrainLoss[i]) {
+			t.Fatalf("epoch %d: fault-injected training not reproducible", i)
+		}
+	}
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("fault-injected accuracy not reproducible: %v vs %v", a.Accuracy, b.Accuracy)
+	}
+	perturbed := a.Accuracy != clean.Accuracy
+	for i := range a.TrainLoss {
+		if a.TrainLoss[i] != clean.TrainLoss[i] {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Fatal("2% stuck cells left training bit-identical to fault-free")
+	}
+	if a.Accuracy < 0 || a.Accuracy > 1 || math.IsNaN(a.Accuracy) {
+		t.Fatalf("fault-injected accuracy %v out of range", a.Accuracy)
+	}
+}
+
+// Fault injection without explicit quantisation: the model forces the
+// Table II width on, since stuck cells damage physical bit slices.
+func TestFaultImpliesQuantisation(t *testing.T) {
+	inst := smallNodeInstance(t, 200)
+	cfg := Config{Epochs: 8, Seed: 5, LR: 0.01,
+		Fault: fault.MustNew(fault.Config{Rate: 0.02, Seed: 7})}
+	a := Train(inst, cfg)
+	b := Train(inst, cfg)
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("not reproducible: %v vs %v", a.Accuracy, b.Accuracy)
+	}
+	if a.Accuracy < 0 || a.Accuracy > 1 || math.IsNaN(a.Accuracy) {
+		t.Fatalf("accuracy %v out of range", a.Accuracy)
+	}
+}
+
+// Fault-masked training under ISU — the per-row mask path — must stay
+// byte-identical at 1, 2 and 8 workers: masks key on (seed, tag, row),
+// never on scheduling.
+func TestTrainFaultDeterministicAcrossWorkers(t *testing.T) {
+	inst := smallNodeInstance(t, 300)
+	degs := make([]float64, inst.Graph.N)
+	for v := range degs {
+		degs[v] = float64(inst.Graph.Degree(v))
+	}
+	plan := mapping.NewUpdatePlan(degs, 0.5, 5)
+	run := func() Result {
+		return Train(inst, Config{Epochs: 12, Seed: 3, LR: 0.01, Plan: plan,
+			QuantBits: 16, Fault: fault.MustNew(fault.Config{Rate: 0.02, Seed: 7})})
+	}
+	parallel.SetWorkers(1)
+	base := run()
+	defer parallel.SetWorkers(0)
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := run()
+		if got.Accuracy != base.Accuracy {
+			t.Fatalf("workers=%d: accuracy %v vs serial %v", w, got.Accuracy, base.Accuracy)
+		}
+		for i := range base.TrainLoss {
+			if math.Float64bits(got.TrainLoss[i]) != math.Float64bits(base.TrainLoss[i]) {
+				t.Fatalf("workers=%d: epoch %d loss %v vs serial %v",
+					w, i, got.TrainLoss[i], base.TrainLoss[i])
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"gopim/internal/fault"
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
 	"gopim/internal/obs"
@@ -54,6 +55,11 @@ var (
 		"combined-feature rows that a no-ISU run would have written")
 	mEpochTime = obs.NewTimer("gcn.epoch_ns",
 		"wall time per training epoch")
+	// mStuckElems counts matrix elements pinned by fault-injection
+	// stuck masks. Zero (and thus absent from snapshots) without
+	// faults; a pure function of (config, fault seed), so Sim-clock.
+	mStuckElems = obs.NewCounter("gcn.stuck_elements", obs.Sim,
+		"weight/feature matrix elements landing on stuck cell slices")
 	mHeapAlloc = obs.NewGauge("gcn.heap_alloc_bytes",
 		"live heap bytes sampled after the last training run")
 	mGCCount = obs.NewGauge("gcn.gc_count",
@@ -78,6 +84,14 @@ type Config struct {
 	// written — to the given fixed-point width (Table II: 16).
 	// 0 trains in full float64.
 	QuantBits int
+	// Fault injects stuck-at cell faults (internal/fault) into
+	// everything written to the array: weight matrices after every
+	// gradient step and combined feature rows as they land on
+	// aggregation crossbars. Nil consults the process-wide
+	// fault.Default(). Injection implies quantisation (stuck cells pin
+	// physical slices), so QuantBits below 2 is raised to 16 while a
+	// fault model is active; a disabled model changes nothing.
+	Fault *fault.Model
 }
 
 // Result reports a training run.
@@ -160,6 +174,15 @@ type workspace struct {
 	// Loss scratch (n × dims[last]).
 	dOut  *tensor.Matrix
 	probs *tensor.Matrix
+
+	// Fault-injection state: stuck[l] pins cells of the combined
+	// feature rows written to layer l's aggregation crossbars
+	// (nil per layer — and nil entirely — when no faults). The
+	// masks are applied exactly where rows land on the array, so
+	// the fault-free path is structurally unchanged.
+	stuck      []*fault.Mask
+	stuckBPC   int // bits per physical cell
+	stuckCells int // cells per stored value
 
 	fw forwardState
 }
@@ -264,6 +287,41 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 	opt := newAdam(lr, weights)
 	ws := newWorkspace(adj, adjT, inst.Features.Rows, dims)
 
+	// Fault injection: stuck-at masks for everything the run writes to
+	// the array. Weight masks are applied here after each epoch's
+	// quantisation; feature masks ride on the workspace and apply where
+	// rows land on aggregation crossbars. Stuck cells damage physical
+	// bit slices, so injection forces quantisation on (Table II width)
+	// if the caller left it off.
+	fm := cfg.Fault
+	if fm == nil {
+		fm = fault.Default()
+	}
+	quantBits := cfg.QuantBits
+	var wMasks []*fault.Mask
+	if fm.Enabled() {
+		if quantBits < 2 {
+			quantBits = 16
+		}
+		// DefaultChip stores 2 bits per cell.
+		ws.stuckBPC = 2
+		ws.stuckCells = quant.CellsPerValue(quantBits, ws.stuckBPC)
+		wMasks = make([]*fault.Mask, d.Layers)
+		ws.stuck = make([]*fault.Mask, d.Layers)
+		var stuckTotal int64
+		for l := 0; l < d.Layers; l++ {
+			wMasks[l] = fm.StuckMask(fmt.Sprintf("w%d", l), dims[l], dims[l+1], ws.stuckCells)
+			ws.stuck[l] = fm.StuckMask(fmt.Sprintf("f%d", l), inst.Features.Rows, dims[l+1], ws.stuckCells)
+			if wMasks[l] != nil {
+				stuckTotal += int64(wMasks[l].Stuck)
+			}
+			if ws.stuck[l] != nil {
+				stuckTotal += int64(ws.stuck[l].Stuck)
+			}
+		}
+		mStuckElems.Add(stuckTotal)
+	}
+
 	// written[l] is the combined feature matrix as present on the
 	// layer's aggregation crossbars; rows refresh per the plan.
 	written := make([]*tensor.Matrix, d.Layers)
@@ -274,14 +332,17 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		t0 := obs.NowIfEnabled()
 		mEpochs.Inc()
-		if cfg.QuantBits >= 2 {
+		if quantBits >= 2 {
 			// ReRAM write-time quantisation: the crossbars only ever
 			// hold fixed-point weights.
-			for _, w := range weights {
-				quant.QuantizeMatrix(w, cfg.QuantBits)
+			for li, w := range weights {
+				s := quant.QuantizeMatrix(w, quantBits)
+				if wMasks != nil && wMasks[li] != nil {
+					applyStuckAll(w, wMasks[li], s, ws.stuckBPC, ws.stuckCells)
+				}
 			}
 		}
-		fw := ws.forwardQuant(inst.Features, weights, written, cfg.Plan, epoch, dropout, rng, cfg.QuantBits)
+		fw := ws.forwardQuant(inst.Features, weights, written, cfg.Plan, epoch, dropout, rng, quantBits)
 		updatedRows += fw.updatedFrac
 		totalRows++
 
@@ -298,7 +359,7 @@ func Train(inst *graphgen.Instance, cfg Config) Result {
 		mEpochTime.ObserveSince(t0)
 	}
 
-	final := ws.forwardQuant(inst.Features, weights, written, nil, 0, 0, rng, cfg.QuantBits)
+	final := ws.forwardQuant(inst.Features, weights, written, nil, 0, 0, rng, quantBits)
 	res := Result{TrainLoss: losses, UpdatedRowFraction: updatedRows / totalRows}
 	switch d.Task {
 	case graphgen.NodeClassification:
@@ -370,10 +431,21 @@ func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
 		fw.inputs[l] = h
 		c := ws.combined[l]
 		tensor.MatMulInto(c, h, weights[l])
+		// Stuck-at faults damage rows only as they are (re)written to
+		// the array — stale rows keep the damage of their last write —
+		// so the mask applies at exactly the points below where rows
+		// land, on quantised values (faults pin physical bit slices).
+		var sch quant.Scheme
+		msk := (*fault.Mask)(nil)
+		if ws.stuck != nil {
+			msk = ws.stuck[l]
+		}
 		if quantBits >= 2 {
 			// Feature rows are quantised as they are written to the
 			// aggregation crossbars.
-			quant.QuantizeMatrix(c, quantBits)
+			sch = quant.QuantizeMatrix(c, quantBits)
+		} else {
+			msk = nil
 		}
 
 		mRowsTotal.Add(int64(c.Rows))
@@ -381,6 +453,9 @@ func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
 			// ISU: copy fresh rows for vertices due this epoch; stale
 			// rows stay as last written.
 			if written[l] == nil {
+				if msk != nil {
+					applyStuckAll(c, msk, sch, ws.stuckBPC, ws.stuckCells)
+				}
 				written[l] = c.Clone() // first epoch writes everything
 				updSum++
 				mRowsRewritten.Add(int64(c.Rows))
@@ -388,6 +463,9 @@ func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
 				updated := 0
 				for v := 0; v < c.Rows; v++ {
 					if plan.UpdatedThisEpoch(v, epoch) {
+						if msk != nil {
+							applyStuckRow(c, msk, v, sch, ws.stuckBPC, ws.stuckCells)
+						}
 						written[l].SetRow(v, c.Row(v))
 						updated++
 					}
@@ -397,6 +475,9 @@ func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
 				c.CopyFrom(written[l])
 			}
 		} else {
+			if msk != nil {
+				applyStuckAll(c, msk, sch, ws.stuckBPC, ws.stuckCells)
+			}
 			updSum++
 			mRowsRewritten.Add(int64(c.Rows))
 		}
@@ -441,6 +522,25 @@ func (ws *workspace) forwardQuant(x *tensor.Matrix, weights []*tensor.Matrix,
 	fw.out = h
 	fw.updatedFrac = updSum / float64(layers)
 	return fw
+}
+
+// applyStuckRow pins the faulty cell slices of row r of m per the
+// mask, using the scheme the row was just quantised with.
+func applyStuckRow(m *tensor.Matrix, msk *fault.Mask, r int, s quant.Scheme, bitsPerCell, cells int) {
+	base := r * msk.Cols
+	row := m.Row(r)
+	for c := 0; c < msk.Cols; c++ {
+		if idx := msk.Slice[base+c]; idx >= 0 {
+			row[c] = quant.ApplyStuck(s, row[c], bitsPerCell, cells, int(idx), msk.High[base+c])
+		}
+	}
+}
+
+// applyStuckAll pins the faulty cell slices of every row of m.
+func applyStuckAll(m *tensor.Matrix, msk *fault.Mask, s quant.Scheme, bitsPerCell, cells int) {
+	for r := 0; r < m.Rows; r++ {
+		applyStuckRow(m, msk, r, s, bitsPerCell, cells)
+	}
 }
 
 // backward is the test-facing entry point mirroring the historic free

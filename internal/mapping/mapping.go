@@ -33,6 +33,12 @@ type Layout struct {
 	GroupSize int
 	// Policy names the strategy for display ("index", "interleaved").
 	Policy string
+	// PhysGroups maps logical group g to the physical crossbar id
+	// holding it. Nil means the identity (group g lives on crossbar g);
+	// fault-aware layouts skip retired crossbars here, so the logical
+	// striping — and with it every timing quantity below — is untouched
+	// while ISU writes land on healthy cells.
+	PhysGroups []int
 
 	slotOf []int // inverse of Order
 }
@@ -92,6 +98,38 @@ func InterleavedLayout(degrees []float64, groupSize int) *Layout {
 		order[slot] = v
 	}
 	return newLayout(order, groupSize, "interleaved")
+}
+
+// InterleavedLayoutHealthy is InterleavedLayout over a chip with
+// retired crossbars: the logical degree-striped placement is exactly
+// InterleavedLayout's — the degree-mix invariant holds by construction
+// — but each logical group is assigned the next healthy physical
+// crossbar, skipping ids whose dead flag is set. A fully-dead crossbar
+// therefore receives no stripe; its would-be stripe shifts to the next
+// healthy id. Indices beyond len(dead) are treated as healthy, so a
+// short (or nil) dead slice degrades to the identity mapping.
+func InterleavedLayoutHealthy(degrees []float64, groupSize int, dead []bool) *Layout {
+	l := InterleavedLayout(degrees, groupSize)
+	phys := make([]int, l.NumGroups())
+	next := 0
+	for g := range phys {
+		for next < len(dead) && dead[next] {
+			next++
+		}
+		phys[g] = next
+		next++
+	}
+	l.PhysGroups = phys
+	l.Policy = "interleaved-healthy"
+	return l
+}
+
+// PhysGroupOf returns the physical crossbar id of logical group g.
+func (l *Layout) PhysGroupOf(g int) int {
+	if l.PhysGroups == nil {
+		return g
+	}
+	return l.PhysGroups[g]
 }
 
 func numGroups(n, groupSize int) int {

@@ -299,3 +299,69 @@ func TestMinMax(t *testing.T) {
 		t.Fatal("MinMax(nil) should be 0,0")
 	}
 }
+
+// A fault-aware interleaved layout must keep the logical striping —
+// and with it the degree-mix invariant — bit-identical to the healthy
+// layout, while routing every logical group around dead crossbars.
+func TestInterleavedLayoutHealthySkipsDead(t *testing.T) {
+	degs := make([]float64, 300)
+	for i := range degs {
+		degs[i] = float64((i * 37) % 100)
+	}
+	dead := []bool{false, true, false, false, true} // crossbars 1 and 4 fully dead
+	l := InterleavedLayoutHealthy(degs, 64, dead)
+	ref := InterleavedLayout(degs, 64)
+
+	// Logical placement identical → every timing quantity unchanged.
+	for p, v := range ref.Order {
+		if l.Order[p] != v {
+			t.Fatalf("slot %d: healthy layout reordered vertices (%d vs %d)", p, l.Order[p], v)
+		}
+	}
+
+	// Physical ids skip the dead crossbars, in order, without reuse.
+	seen := map[int]bool{}
+	for g := 0; g < l.NumGroups(); g++ {
+		phys := l.PhysGroupOf(g)
+		if phys < len(dead) && dead[phys] {
+			t.Fatalf("logical group %d landed on dead crossbar %d", g, phys)
+		}
+		if seen[phys] {
+			t.Fatalf("crossbar %d assigned twice", phys)
+		}
+		seen[phys] = true
+	}
+	// 300 vertices / 64 = 5 logical groups over dead {1,4}: 0,2,3,5,6.
+	want := []int{0, 2, 3, 5, 6}
+	for g, w := range want {
+		if l.PhysGroupOf(g) != w {
+			t.Fatalf("group %d on crossbar %d, want %d", g, l.PhysGroupOf(g), w)
+		}
+	}
+
+	// Degree-mix invariant: the per-group average degree spread matches
+	// the fault-free interleaved layout exactly.
+	gotMin, gotMax := MinMax(l.GroupAvgDegrees(degs))
+	wantMin, wantMax := MinMax(ref.GroupAvgDegrees(degs))
+	if gotMin != wantMin || gotMax != wantMax {
+		t.Fatalf("degree mix changed: [%v,%v] vs [%v,%v]", gotMin, gotMax, wantMin, wantMax)
+	}
+}
+
+// Without dead flags the healthy layout is the identity mapping, and
+// the plain layout reports identity physical groups.
+func TestPhysGroupIdentityDefaults(t *testing.T) {
+	degs := []float64{5, 4, 3, 2, 1, 0}
+	plain := InterleavedLayout(degs, 2)
+	for g := 0; g < plain.NumGroups(); g++ {
+		if plain.PhysGroupOf(g) != g {
+			t.Fatalf("plain layout group %d on crossbar %d", g, plain.PhysGroupOf(g))
+		}
+	}
+	l := InterleavedLayoutHealthy(degs, 2, nil)
+	for g := 0; g < l.NumGroups(); g++ {
+		if l.PhysGroupOf(g) != g {
+			t.Fatalf("nil-dead healthy layout group %d on crossbar %d", g, l.PhysGroupOf(g))
+		}
+	}
+}

@@ -34,7 +34,14 @@ type Manifest struct {
 	GOOS        string    `json:"goos"`
 	GOARCH      string    `json:"goarch"`
 	GitDescribe string    `json:"git_describe,omitempty"`
-	StartedAt   time.Time `json:"started_at"`
+	// Fault-injection knobs (-fault-rate/-fault-seed/-fault-verify-max),
+	// recorded only when a fault model is active: a default run's
+	// manifest must stay byte-stable across the fault feature's
+	// introduction, so all three omit when empty.
+	FaultRate      float64   `json:"fault_rate,omitempty"`
+	FaultSeed      int64     `json:"fault_seed,omitempty"`
+	FaultVerifyMax int       `json:"fault_verify_max,omitempty"`
+	StartedAt      time.Time `json:"started_at"`
 	WallMS      float64   `json:"wall_ms"`
 	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish
 	// runs: live heap bytes and cumulative GC cycles for the process.

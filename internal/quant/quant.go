@@ -161,3 +161,33 @@ func CellsPerValue(bits, bitsPerCell int) int {
 // MaxQuantError returns the worst-case absolute rounding error of the
 // scheme (half a step) for in-range inputs.
 func (s Scheme) MaxQuantError() float64 { return s.StepSize() / 2 }
+
+// ApplyStuck models writing x onto a value whose cell slice sliceIdx
+// is stuck: the value is quantised, decomposed into its physical cell
+// slices, the stuck slice is pinned (to the full cell mask for
+// stuck-at-1, to 0 for stuck-at-0), and the damaged code is recomposed
+// and dequantised. The recomposed magnitude is clamped to the scheme's
+// level range: a stuck-high slice in the top cell can otherwise encode
+// a magnitude the differential pair cannot represent.
+func ApplyStuck(s Scheme, x float64, bitsPerCell, cells, sliceIdx int, stuckHigh bool) float64 {
+	if sliceIdx < 0 || sliceIdx >= cells {
+		panic(fmt.Sprintf("quant: stuck slice %d out of range 0..%d", sliceIdx, cells-1))
+	}
+	if s.Scale == 0 {
+		return 0
+	}
+	q := s.QuantizeInt(x)
+	slices := Slices(q, bitsPerCell, cells)
+	if stuckHigh {
+		slices[sliceIdx] = uint8(int64(1)<<bitsPerCell - 1)
+	} else {
+		slices[sliceIdx] = 0
+	}
+	damaged := FromSlices(slices, bitsPerCell, q < 0)
+	if levels := s.Levels(); damaged > levels {
+		damaged = levels
+	} else if damaged < -levels {
+		damaged = -levels
+	}
+	return s.Dequantize(damaged)
+}

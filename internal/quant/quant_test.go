@@ -169,3 +169,52 @@ func TestSlicesLSBFirst(t *testing.T) {
 		t.Fatal("sign recomposition wrong")
 	}
 }
+
+func TestApplyStuck(t *testing.T) {
+	s := Fit(16, 1.0)
+	cells := CellsPerValue(16, 2) // 8 cells of 2 bits
+	// A healthy slice forced to its own value is a no-op.
+	x := s.Quantize(0.375)
+	q := s.QuantizeInt(x)
+	slices := Slices(q, 2, cells)
+	for idx, sl := range slices {
+		want := x
+		high := sl == 3
+		if sl != 0 && !high {
+			continue // only exact-preserving cases here
+		}
+		if got := ApplyStuck(s, x, 2, cells, idx, high); got != want {
+			t.Fatalf("slice %d already at its stuck value: got %v, want %v", idx, got, want)
+		}
+	}
+	// Stuck-at-0 on the most significant slice wipes the top bits.
+	top := cells - 1
+	big := s.Quantize(0.9)
+	got := ApplyStuck(s, big, 2, cells, top, false)
+	if math.Abs(got) >= math.Abs(big) {
+		t.Fatalf("stuck-at-0 top slice did not shrink %v (got %v)", big, got)
+	}
+	// Stuck-at-1 keeps the result representable (clamped to ±Scale).
+	hi := ApplyStuck(s, big, 2, cells, top, true)
+	if math.Abs(hi) > s.Scale {
+		t.Fatalf("stuck-at-1 escaped the scheme range: %v > %v", hi, s.Scale)
+	}
+	// Sign travels on the differential pair and survives.
+	neg := ApplyStuck(s, -big, 2, cells, top, false)
+	if neg > 0 {
+		t.Fatalf("stuck slice flipped the sign: %v", neg)
+	}
+	// Degenerate scheme maps everything to 0.
+	if got := ApplyStuck(Scheme{Bits: 16}, 0.5, 2, cells, 0, true); got != 0 {
+		t.Fatalf("degenerate scheme gave %v", got)
+	}
+}
+
+func TestApplyStuckBadSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice index must panic")
+		}
+	}()
+	ApplyStuck(Fit(16, 1), 0.5, 2, 8, 9, true)
+}

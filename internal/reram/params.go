@@ -50,6 +50,13 @@ type Chip struct {
 	// write pulses are power-hungry, so the power budget, not the
 	// drivers, bounds chip-wide write parallelism.
 	WriteLanes int
+	// WriteRetryFactor stretches row programming for write-verify
+	// retries under injected faults (internal/fault): the expected
+	// program-verify iteration count relative to the fault-free pass.
+	// 0 or 1 means no retries; values in (1, ∞) multiply ProgramRowNS,
+	// which prices both the latency and (through energy.WriteRowPJ)
+	// the energy of every retry.
+	WriteRetryFactor float64
 
 	// ZeroSkipMiss models imperfect zero-block skipping while streaming
 	// a sparse adjacency row through the input registers: the effective
@@ -137,6 +144,9 @@ func (c Chip) Validate() error {
 		return fmt.Errorf("reram: write verify cycles %d must be positive", c.WriteVerifyCycles)
 	case c.WriteLanes <= 0:
 		return fmt.Errorf("reram: write lanes %d must be positive", c.WriteLanes)
+	case c.WriteRetryFactor != 0 && (math.IsNaN(c.WriteRetryFactor) ||
+		math.IsInf(c.WriteRetryFactor, 0) || c.WriteRetryFactor < 1):
+		return fmt.Errorf("reram: write retry factor %v must be 0 (off) or a finite value ≥ 1", c.WriteRetryFactor)
 	case c.ZeroSkipMiss < 0 || c.ZeroSkipMiss > 1:
 		return fmt.Errorf("reram: zero-skip miss %v must be in [0,1]", c.ZeroSkipMiss)
 	}
@@ -201,9 +211,17 @@ func (c Chip) RowWriteNS() float64 {
 }
 
 // ProgramRowNS is the full program-verify latency of one crossbar row:
-// WriteOpsPerRow × WriteVerifyCycles write pulses.
+// WriteOpsPerRow × WriteVerifyCycles write pulses, stretched by the
+// write-verify retry factor when fault injection is active. The
+// multiplication is gated on > 1 so the fault-free path stays
+// byte-identical (×1.0 would be a bitwise identity anyway, but the
+// gate keeps the contract structural).
 func (c Chip) ProgramRowNS() float64 {
-	return c.RowWriteNS() * float64(c.WriteVerifyCycles)
+	ns := c.RowWriteNS() * float64(c.WriteVerifyCycles)
+	if c.WriteRetryFactor > 1 {
+		ns *= c.WriteRetryFactor
+	}
+	return ns
 }
 
 // MVMNS is the latency in nanoseconds of streaming one full-precision

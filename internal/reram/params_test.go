@@ -231,3 +231,35 @@ func TestExpectedActiveBlocksMatchesSampling(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteRetryFactorValidation(t *testing.T) {
+	c := DefaultChip()
+	for _, bad := range []float64{0.5, -1, math.NaN(), math.Inf(1)} {
+		c.WriteRetryFactor = bad
+		if err := c.Validate(); err == nil {
+			t.Errorf("retry factor %v accepted", bad)
+		}
+	}
+	for _, ok := range []float64{0, 1, 1.5, 8} {
+		c.WriteRetryFactor = ok
+		if err := c.Validate(); err != nil {
+			t.Errorf("retry factor %v rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestProgramRowNSRetryGate(t *testing.T) {
+	c := DefaultChip()
+	base := c.ProgramRowNS()
+	// 0 and 1 leave the fault-free latency untouched bit for bit.
+	for _, f := range []float64{0, 1} {
+		c.WriteRetryFactor = f
+		if got := c.ProgramRowNS(); got != base {
+			t.Fatalf("retry factor %v changed ProgramRowNS: %v vs %v", f, got, base)
+		}
+	}
+	c.WriteRetryFactor = 1.5
+	if got := c.ProgramRowNS(); got != base*1.5 {
+		t.Fatalf("retry factor 1.5 gives %v, want %v", got, base*1.5)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gopim"
+	"gopim/internal/fault"
 	"gopim/internal/obs"
 )
 
@@ -50,6 +51,93 @@ func TestSimMetricsIdenticalAcrossWorkerCounts(t *testing.T) {
 		if !bytes.Equal(snap, want) {
 			t.Errorf("workers=%d: Sim snapshot differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
 				w, want, w, snap)
+		}
+	}
+}
+
+// The same promise with fault injection on: fault maps come from
+// seeded per-crossbar streams keyed on stable identity, never on
+// scheduling, so a fault-enabled sweep is just as byte-deterministic
+// across worker counts — and its snapshot carries the fault counters.
+func TestFaultEnabledSimMetricsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker experiment sweep")
+	}
+	ids := []string{"fig4"}
+	opt := gopim.ExperimentOptions{Seed: 11, Fast: true}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	defer gopim.SetWorkers(0)
+	defer obs.Default().Reset()
+	fault.SetDefault(fault.MustNew(fault.Config{Rate: 1e-3, Seed: 1}))
+	defer fault.SetDefault(nil)
+
+	var want []byte
+	for _, w := range []int{1, 2, 8} {
+		gopim.SetWorkers(w)
+		obs.Default().Reset()
+		if _, err := gopim.RunExperiments(ids, opt); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Default().WriteText(&buf, obs.Sim); err != nil {
+			t.Fatal(err)
+		}
+		snap := buf.Bytes()
+		for _, m := range []string{"accel.faulty_cells", "accel.write_retries"} {
+			if !strings.Contains(buf.String(), m) {
+				t.Fatalf("workers=%d: fault-enabled snapshot missing %s:\n%s", w, m, snap)
+			}
+		}
+		if want == nil {
+			want = snap
+			continue
+		}
+		if !bytes.Equal(snap, want) {
+			t.Errorf("workers=%d: fault-enabled Sim snapshot differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				w, want, w, snap)
+		}
+	}
+}
+
+// A rate-0 fault model installed as the process default must leave the
+// Sim snapshot byte-identical to no model at all — the contract that
+// keeps golden outputs and bench baselines valid with faults disabled.
+func TestZeroRateDefaultLeavesSnapshotUntouched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	ids := []string{"fig4"}
+	opt := gopim.ExperimentOptions{Seed: 11, Fast: true}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	defer obs.Default().Reset()
+
+	snapshot := func() []byte {
+		obs.Default().Reset()
+		if _, err := gopim.RunExperiments(ids, opt); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Default().WriteText(&buf, obs.Sim); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	base := snapshot()
+	fault.SetDefault(fault.MustNew(fault.Config{Rate: 0, Seed: 42}))
+	defer fault.SetDefault(nil)
+	got := snapshot()
+	if !bytes.Equal(got, base) {
+		t.Errorf("rate-0 default changed the Sim snapshot:\n--- no model ---\n%s--- rate 0 ---\n%s", base, got)
+	}
+	// The counters exist (registered) but must read zero without faults.
+	for _, line := range strings.Split(string(base), "\n") {
+		if strings.HasPrefix(line, "accel.faulty_cells") && !strings.Contains(line, "count=0") {
+			t.Errorf("fault counter nonzero in a fault-free run: %s", line)
 		}
 	}
 }
