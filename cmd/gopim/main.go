@@ -16,6 +16,8 @@
 //	gopim diff <old> <new>         compare two BENCH files (or raw
 //	                               -metrics JSON snapshots); nonzero
 //	                               exit on sim-clock regression
+//	gopim serve -addr A            run the allocation-planning daemon
+//	                               (POST /v1/plan; see DESIGN.md §13)
 //
 // Flags:
 //
@@ -165,6 +167,10 @@ func main() {
 		if err := benchCmd(args[1:], *seed, *fast, outFormat); err != nil {
 			fatal(err.Error())
 		}
+	case "serve":
+		if err := serveCmd(sess, args[1:]); err != nil {
+			fatal(err.Error())
+		}
 	case "diff":
 		regressions, err := diffCmd(args[1:], outFormat)
 		if err != nil {
@@ -212,6 +218,7 @@ usage:
   gopim [flags] compare <dataset>
   gopim [flags] bench [-label L] [-repeats N] [-attrib]
   gopim [flags] diff [-rel R] <old.json> <new.json>
+  gopim [flags] serve [-addr A] [-serve-workers N] [-queue N] [-cache N]
 
 flags:
 `)

@@ -2,9 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
-	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +30,7 @@ type obsSession struct {
 	traceFile   *os.File
 	tracer      *obs.Tracer
 	manifest    *obs.Manifest
-	debugLn     net.Listener
+	debugSrv    *obs.DebugServer
 	// simEvents are simulated-time trace events (the gantt schedule)
 	// merged into the trace file alongside the wall-clock spans.
 	simEvents []obs.TraceEvent
@@ -95,12 +95,12 @@ func startObsSession(f obsFlags, args []string) (*obsSession, error) {
 		obs.SetTracer(s.tracer)
 	}
 	if f.pprofAddr != "" {
-		if s.debugLn, err = obs.ServeDebug(f.pprofAddr, obs.Default()); err != nil {
+		if s.debugSrv, err = obs.ServeDebug(f.pprofAddr, obs.Default()); err != nil {
 			s.close()
 			return nil, fmt.Errorf("-pprof: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "gopim: debug server on http://%s/debug/pprof/\n",
-			s.debugLn.Addr())
+			s.debugSrv.Addr())
 	}
 	if path := s.manifestPath(); path != "" {
 		// Probe writability now; the real manifest overwrites this at exit.
@@ -218,8 +218,12 @@ func (s *obsSession) close() {
 	if s.traceFile != nil {
 		s.traceFile.Close()
 	}
-	if s.debugLn != nil {
-		s.debugLn.Close()
+	if s.debugSrv != nil {
+		// Graceful drain with a short bound: a hung profile stream must
+		// not wedge process exit.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = s.debugSrv.Shutdown(ctx)
+		cancel()
 	}
 }
 

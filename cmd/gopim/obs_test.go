@@ -109,8 +109,8 @@ func TestObsFlagPlumbing(t *testing.T) {
 			},
 			ok: true,
 			check: func(t *testing.T, s *obsSession) {
-				if s.debugLn == nil {
-					t.Error("debug listener not bound")
+				if s.debugSrv == nil {
+					t.Error("debug server not bound")
 				}
 			},
 		},

@@ -2,21 +2,22 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"gopim/internal/accel"
 	"gopim/internal/graphgen"
 	"gopim/internal/obs"
 	"gopim/internal/predictor"
 	"gopim/internal/reram"
+	"gopim/internal/singleflight"
 	"gopim/internal/stage"
 )
 
 // Cache metrics for the shared time predictor. Both counts are
-// deterministic despite the concurrent fan-out: the mutex is held
-// across training, so exactly one caller per Options key ever misses
-// and every later caller hits — the totals depend only on which
-// experiments run, never on scheduling.
+// deterministic despite the concurrent fan-out: the single-flight
+// cache runs exactly one training per Options key — every concurrent
+// caller for that key coalesces onto it and counts as a hit — so the
+// totals depend only on which experiments run, never on scheduling or
+// worker count.
 var (
 	mPredCacheHits = obs.NewCounter("experiments.predictor_cache_hits", obs.Sim,
 		"shared-predictor lookups answered from the cache")
@@ -113,32 +114,36 @@ func fig9(opt Options) (*Result, error) {
 }
 
 // sharedPredictors caches one trained time predictor per (mode, seed)
-// so that tab7 and the CLI's "all" run don't retrain repeatedly. The
-// mutex makes the cache safe under RunAll's concurrent fan-out; it is
-// held across training so concurrent experiments share one training
-// run instead of racing to duplicate it.
-var (
-	sharedPredictorsMu sync.Mutex
-	sharedPredictors   = map[Options]*predictor.TimePredictor{}
-)
+// so that tab7, the CLI's "all" run and the serve daemon don't retrain
+// repeatedly. Misses coalesce per key: concurrent callers for the same
+// Options share one training run, while different keys train in
+// parallel — the old design held a single mutex across training, so
+// independent keys serialized behind whichever training ran first.
+var sharedPredictors = singleflight.New[Options, *predictor.TimePredictor](0)
 
 // trainSharedPredictor trains (or reuses) the MLP time predictor on
 // the profile sweep. The trained predictor is read-only and safe for
 // concurrent Predict calls.
 func trainSharedPredictor(opt Options) *predictor.TimePredictor {
-	sharedPredictorsMu.Lock()
-	defer sharedPredictorsMu.Unlock()
-	if p, ok := sharedPredictors[opt]; ok {
-		mPredCacheHits.Inc()
+	p, hit := sharedPredictors.Do(opt, func() *predictor.TimePredictor {
+		mPredCacheMisses.Inc()
+		sp := obs.StartSpan("predictor.train")
+		defer sp.End()
+		p := predictor.NewTimePredictor()
+		p.Train(predictor.Generate(profileSpec(opt)))
 		return p
+	})
+	if hit {
+		mPredCacheHits.Inc()
 	}
-	mPredCacheMisses.Inc()
-	sp := obs.StartSpan("predictor.train")
-	p := predictor.NewTimePredictor()
-	p.Train(predictor.Generate(profileSpec(opt)))
-	sp.End()
-	sharedPredictors[opt] = p
 	return p
+}
+
+// SharedPredictor exposes the per-Options predictor cache to other
+// packages (the serve daemon plans requests against the same shared
+// immutable model the experiments use).
+func SharedPredictor(opt Options) *predictor.TimePredictor {
+	return trainSharedPredictor(opt)
 }
 
 // predictTimesFor produces the predictor's stage-time estimates for an

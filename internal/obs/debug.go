@@ -1,34 +1,96 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// publishOnce guards the process-wide expvar name (expvar.Publish
-// panics on duplicates).
-var publishOnce sync.Once
+// debugReg holds the registry the process-wide "gopim_metrics" expvar
+// reads. expvar.Publish panics on duplicate names, so the name is
+// published exactly once — but the closure dereferences this pointer
+// on every read, so a later ServeDebug call with a different registry
+// swaps what /debug/vars reports instead of silently serving the first
+// registry forever (the pre-fix behaviour).
+var (
+	debugReg    atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
 
-// ServeDebug starts an HTTP server on addr exposing:
+// ServerTimeouts bundles the slow-client hardening knobs every GoPIM
+// HTTP server is constructed with. WriteTimeout is deliberately absent:
+// pprof's /debug/pprof/profile?seconds=N streams for N seconds, and the
+// serve daemon bounds request lifetime with per-request deadlines
+// instead of a connection write timeout.
+type ServerTimeouts struct {
+	// ReadHeader bounds how long a connection may take to deliver its
+	// request headers — the slowloris guard.
+	ReadHeader time.Duration
+	// Read bounds the whole request read, body included.
+	Read time.Duration
+	// Idle bounds keep-alive connections between requests.
+	Idle time.Duration
+}
+
+// DefaultServerTimeouts returns the hardening defaults shared by the
+// debug server and `gopim serve`.
+func DefaultServerTimeouts() ServerTimeouts {
+	return ServerTimeouts{
+		ReadHeader: 10 * time.Second,
+		Read:       time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// NewHTTPServer returns an http.Server for handler with the given
+// timeouts applied — the one construction path for every HTTP listener
+// in the process, so no server is ever started without slow-client
+// protection again.
+func NewHTTPServer(handler http.Handler, t ServerTimeouts) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		IdleTimeout:       t.Idle,
+	}
+}
+
+// DebugServer is a running debug HTTP endpoint. Shut it down with
+// Shutdown (graceful: in-flight handlers drain) or Close (abrupt).
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+}
+
+// Addr returns the bound listen address.
+func (s *DebugServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown stops accepting connections and waits for in-flight
+// handlers to finish, up to ctx's deadline.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+// Close abruptly closes the listener and all active connections.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// DebugMux returns the debug endpoint set served for reg:
 //
 //	/debug/pprof/*   net/http/pprof profiles
 //	/debug/vars      expvar, including the registry under "gopim_metrics"
 //	/debug/metrics   the registry's text snapshot (all clocks)
-//
-// The listener is bound synchronously so an unusable address fails
-// here, before any experiment runs; the server itself runs in the
-// background until the listener is closed.
-func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	publishOnce.Do(func() {
-		expvar.Publish("gopim_metrics", expvar.Func(func() any { return reg.ExpvarMap() }))
-	})
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -40,6 +102,43 @@ func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.WriteText(w)
 	})
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln, nil
+	return mux
+}
+
+// ServeDebug starts a debug HTTP server on addr (see DebugMux for the
+// endpoint set) with the default hardening timeouts. The listener is
+// bound synchronously so an unusable address fails here, before any
+// experiment runs; the server itself runs in the background until
+// Shutdown or Close. The process-wide "gopim_metrics" expvar is
+// re-pointed at reg, so the most recent ServeDebug call's registry is
+// the one /debug/vars reports.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeDebugTimeouts(addr, reg, DefaultServerTimeouts())
+}
+
+// ServeDebugTimeouts is ServeDebug with explicit hardening timeouts.
+func ServeDebugTimeouts(addr string, reg *Registry, t ServerTimeouts) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	debugReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("gopim_metrics", expvar.Func(func() any {
+			if r := debugReg.Load(); r != nil {
+				return r.ExpvarMap()
+			}
+			return map[string]map[string]string{}
+		}))
+	})
+	s := &DebugServer{
+		ln:   ln,
+		srv:  NewHTTPServer(DebugMux(reg), t),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
 }

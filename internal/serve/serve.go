@@ -1,0 +1,407 @@
+// Package serve implements the gopim planning daemon: a long-running
+// HTTP/JSON front end that answers allocation-planning queries —
+// "given this graph's stats and this crossbar budget, what replica
+// allocation / predicted makespan / θ?" — against shared immutable
+// model state (ROADMAP item 2).
+//
+// # Request lifecycle
+//
+//	decode → validate/normalize → cache fast path → admission
+//	(bounded queue, 429 on overflow, per-request deadline) →
+//	workspace acquire → single-flight compute → respond
+//
+// Planning is a pure function of the normalized request (see
+// computePlan), so responses are cached as their final JSON bytes,
+// keyed by the normalized request. Identical requests therefore get
+// byte-identical bodies whether they hit the cache, coalesce onto an
+// in-flight computation, or recompute after eviction — and at any
+// worker count.
+//
+// # Admission control
+//
+// Concurrency is bounded by a pool of request workspaces (Workers
+// slots); arrivals beyond Workers+QueueDepth are rejected immediately
+// with 429 rather than queuing without bound, and a queued request
+// that cannot get a workspace before its deadline is shed with 503.
+// Cache hits bypass admission entirely — they touch no workspace.
+//
+// # Determinism contract
+//
+// For a serialized request script, every Sim-clock serve metric
+// (requests, plans computed, cache hits, evictions, validation
+// rejections) is a pure function of the script, and every response
+// body is a pure function of its request — CI replays a script twice
+// and diffs both. Scheduling-dependent signals (429s, queue waits,
+// latencies) stay on the Wall clock.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"gopim/internal/accel"
+	"gopim/internal/graphgen"
+	"gopim/internal/obs"
+	"gopim/internal/parallel"
+	"gopim/internal/singleflight"
+)
+
+// Serve metrics. The Sim-clock side counts request-set-determined
+// quantities (see the package determinism contract); everything
+// scheduling-dependent lives on the Wall clock.
+var (
+	mRequests = obs.NewCounter("serve.requests", obs.Sim,
+		"planning API requests received")
+	mPlans = obs.NewCounter("serve.plans_computed", obs.Sim,
+		"planning computations executed (cache misses)")
+	mHits = obs.NewCounter("serve.cache_hits", obs.Sim,
+		"planning requests answered from the cache (incl. coalesced)")
+	mEvictions = obs.NewCounter("serve.cache_evictions", obs.Sim,
+		"cached plans evicted by LRU pressure")
+	mBadRequests = obs.NewCounter("serve.bad_requests", obs.Sim,
+		"planning requests rejected by validation (4xx)")
+	mRejected = obs.NewCounter("serve.rejected_overload", obs.Wall,
+		"planning requests shed with 429 (queue full)")
+	mDeadline = obs.NewCounter("serve.deadline_shed", obs.Wall,
+		"planning requests shed with 503 (deadline hit while queued)")
+	mLatency = obs.NewTimer("serve.request_ns",
+		"wall latency per planning request")
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address (e.g. ":8080").
+	Addr string
+	// Workers bounds concurrent planning computations; 0 means the
+	// process worker-pool size (parallel.Workers()).
+	Workers int
+	// QueueDepth bounds requests waiting for a workspace beyond the
+	// Workers in flight; arrivals past Workers+QueueDepth get 429.
+	// 0 means DefaultQueueDepth; negative means no queue (admit only
+	// up to Workers).
+	QueueDepth int
+	// CacheSize bounds the plan cache (entries); 0 means
+	// DefaultCacheSize; negative means unbounded.
+	CacheSize int
+	// RequestTimeout bounds one request's queue wait + computation
+	// (default DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// Timeouts harden the HTTP listener (zero value: obs defaults).
+	Timeouts obs.ServerTimeouts
+	// OnRequest, when non-nil, observes every planning request after it
+	// completes: a short id, its wall duration, and the terminal error
+	// (nil for 200s). The CLI wires this to the run manifest.
+	OnRequest func(id string, wall time.Duration, err error)
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueDepth     = 64
+	DefaultCacheSize      = 1024
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// workspace is one request's scratch state, drawn from the bounded
+// pool for the duration of a planning computation. The pool doubles as
+// the admission semaphore: holding a workspace IS the right to
+// compute.
+type workspace struct {
+	// enc accumulates the marshalled response before it is copied into
+	// the cache, so steady-state encoding reuses one growing buffer
+	// per slot instead of allocating per request.
+	enc []byte
+}
+
+// Server is the planning daemon.
+type Server struct {
+	cfg     Config
+	cache   *singleflight.Cache[planKey, []byte]
+	pool    chan *workspace
+	queued  chan struct{} // admission tokens: Workers+QueueDepth
+	mux     *http.ServeMux
+	ln      net.Listener
+	srv     *http.Server
+	done    chan struct{}
+	started bool
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = parallel.Workers()
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = DefaultQueueDepth
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = DefaultCacheSize
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.Timeouts == (obs.ServerTimeouts{}) {
+		cfg.Timeouts = obs.DefaultServerTimeouts()
+	}
+	s := &Server{
+		cfg:    cfg,
+		cache:  singleflight.New[planKey, []byte](cfg.CacheSize),
+		pool:   make(chan *workspace, cfg.Workers),
+		queued: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		done:   make(chan struct{}),
+	}
+	s.cache.OnEvict = func(planKey, []byte) { mEvictions.Inc() }
+	for i := 0; i < cfg.Workers; i++ {
+		s.pool <- &workspace{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler exposes the daemon's endpoint set (handler tests mount it on
+// httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers reports the bounded pool size requests compute under.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Start binds the listen address — synchronously, so an unusable
+// address fails here — and serves in the background until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = obs.NewHTTPServer(s.mux, s.cfg.Timeouts)
+	s.started = true
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests,
+// bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.started {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handlePlan is the planning endpoint: POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mRequests.Inc()
+	var reqID string
+	var terminal error
+	defer func() {
+		mLatency.ObserveDuration(time.Since(start))
+		if s.cfg.OnRequest != nil {
+			if reqID == "" {
+				reqID = "plan:invalid"
+			}
+			s.cfg.OnRequest(reqID, time.Since(start), terminal)
+		}
+	}()
+	fail := func(status int, err error) {
+		terminal = err
+		writeJSON(w, status, errorBody{Error: err.Error()})
+	}
+
+	if r.Method != http.MethodPost {
+		mBadRequests.Inc()
+		w.Header().Set("Allow", http.MethodPost)
+		fail(http.StatusMethodNotAllowed, errors.New("use POST with a JSON PlanRequest body"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req PlanRequest
+	if err := dec.Decode(&req); err != nil {
+		mBadRequests.Inc()
+		fail(http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	key, err := normalize(req)
+	if err != nil {
+		mBadRequests.Inc()
+		status := http.StatusBadRequest
+		if !errors.As(err, &badRequestError{}) {
+			status = http.StatusInternalServerError
+		}
+		fail(status, err)
+		return
+	}
+	reqID = fmt.Sprintf("plan:%s/%s", key.datasetOf().Name, key.model)
+
+	// Cache fast path: completed plans are served without consuming a
+	// workspace or queue slot — hits must stay cheap under load.
+	if body, ok := s.cache.Get(key); ok {
+		mHits.Inc()
+		s.writePlan(w, body, true)
+		return
+	}
+
+	// Admission: claim a queue token (bounded: Workers+QueueDepth) or
+	// shed immediately — the queue must never grow without bound.
+	select {
+	case s.queued <- struct{}{}:
+		defer func() { <-s.queued }()
+	default:
+		mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, errors.New("planning queue full, retry later"))
+		return
+	}
+
+	// Workspace: wait for a pool slot under the request deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	var ws *workspace
+	select {
+	case ws = <-s.pool:
+		defer func() { s.pool <- ws }()
+	case <-ctx.Done():
+		mDeadline.Inc()
+		fail(http.StatusServiceUnavailable, fmt.Errorf("no planning capacity within deadline: %w", ctx.Err()))
+		return
+	}
+
+	body, hit := s.cache.Do(key, func() []byte {
+		mPlans.Inc()
+		sp := obs.StartSpan("serve.plan")
+		defer sp.End()
+		resp := computePlan(key)
+		ws.enc = ws.enc[:0]
+		ws.enc = append(ws.enc, mustMarshal(resp)...)
+		ws.enc = append(ws.enc, '\n')
+		// The cache owns an immutable copy; ws.enc is reused.
+		return append([]byte(nil), ws.enc...)
+	})
+	if hit {
+		mHits.Inc()
+	}
+	s.writePlan(w, body, hit)
+}
+
+// writePlan sends a cached plan body. Bodies are immutable cache
+// values, written verbatim so identical requests stay byte-identical.
+func (s *Server) writePlan(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Gopim-Cache", "hit")
+	} else {
+		w.Header().Set("X-Gopim-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshal response: %v", err))
+	}
+	return b
+}
+
+// datasetInfo is one catalog entry of GET /v1/datasets.
+type datasetInfo struct {
+	Name          string  `json:"name"`
+	Task          string  `json:"task"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	AvgDegree     float64 `json:"avg_degree"`
+	FeatureDim    int     `json:"feature_dim"`
+	AdaptiveTheta float64 `json:"adaptive_theta"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	out := make([]datasetInfo, 0, 8)
+	for _, d := range graphgen.Catalog() {
+		out = append(out, datasetInfo{
+			Name:          d.Name,
+			Task:          d.Task.String(),
+			Vertices:      d.PaperVertices,
+			Edges:         d.PaperEdges,
+			AvgDegree:     d.PaperAvgDeg,
+			FeatureDim:    d.FeatureDim,
+			AdaptiveTheta: d.AdaptiveTheta(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, 9)
+	for _, k := range []accel.Kind{
+		accel.Serial, accel.SlimGNNLike, accel.ReGraphX, accel.ReFlip,
+		accel.GoPIMVanilla, accel.GoPIM, accel.PlusPP, accel.PlusISU,
+		accel.Pipelayer,
+	} {
+		names = append(names, k.String())
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the default registry's Sim-clock snapshot —
+// the deterministic, diffable section. ?clock=all appends the
+// Wall-clock section too.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	reg := obs.Default()
+	if r.URL.Query().Get("clock") == "all" {
+		_ = reg.WriteText(w)
+		return
+	}
+	_ = reg.WriteText(w, obs.Sim)
+}

@@ -1,0 +1,154 @@
+// Package singleflight provides a generic keyed result cache with
+// per-key miss coalescing and optional LRU eviction.
+//
+// Concurrent Do calls for the same key share one computation: exactly
+// one caller runs the function while the rest wait for its result.
+// Calls for *different* keys never block each other — the cache's
+// mutex guards only the map bookkeeping, never a computation — which
+// is the property the old experiments predictor cache (one mutex held
+// across training) lacked.
+//
+// Determinism contract: for any fixed set of Do calls that the cache
+// can hold without evicting mid-flight, the number of function
+// executions is exactly the number of distinct keys, independent of
+// scheduling or concurrency. Callers that count hits as
+// (calls − executions) therefore get scheduling-independent totals,
+// which is what lets the predictor-cache and serve-cache counters live
+// on the deterministic Sim clock.
+package singleflight
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one key's slot: in-flight (done open, complete false) or
+// completed (val set, elem on the LRU list).
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	complete bool
+	elem     *list.Element
+}
+
+// Cache is a keyed single-flight result cache. The zero value is not
+// usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int // max completed entries; 0 = unbounded
+	entries map[K]*entry[V]
+	// order tracks completed entries, most recently used at the front.
+	// In-flight entries are pinned (not on the list, never evicted).
+	order *list.List
+
+	// OnEvict, when non-nil, observes each LRU eviction. It runs with
+	// the cache's lock held: it must be fast and must not call back
+	// into the cache.
+	OnEvict func(K, V)
+}
+
+// New returns a cache holding at most max completed entries
+// (0 = unbounded). Eviction is strict LRU over completed entries.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	return &Cache[K, V]{
+		max:     max,
+		entries: map[K]*entry[V]{},
+		order:   list.New(),
+	}
+}
+
+// Get returns the completed cached value for k, if any, refreshing its
+// LRU position. It never blocks on an in-flight computation — callers
+// that want coalescing use Do.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok && e.complete {
+		c.order.MoveToFront(e.elem)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for k, computing it with fn on first use.
+// Concurrent calls for the same key share one fn execution; calls for
+// different keys proceed independently. hit reports whether this call
+// reused a computation (cached or coalesced) rather than running fn
+// itself.
+//
+// If fn panics, the panic propagates to the caller that ran it, the
+// key's slot is cleared, and any coalesced waiters retry (one of them
+// becomes the next runner).
+func (c *Cache[K, V]) Do(k K, fn func() V) (v V, hit bool) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[k]; ok {
+			if e.complete {
+				c.order.MoveToFront(e.elem)
+				v = e.val
+				c.mu.Unlock()
+				return v, true
+			}
+			done := e.done
+			c.mu.Unlock()
+			<-done
+			// The runner finished (or panicked, clearing the slot) — or
+			// the entry completed and was already evicted. Re-check;
+			// in the common case the next pass returns the cached value.
+			c.mu.Lock()
+			if e2, ok := c.entries[k]; ok && e2.complete {
+				c.order.MoveToFront(e2.elem)
+				v = e2.val
+				c.mu.Unlock()
+				return v, true
+			}
+			c.mu.Unlock()
+			continue
+		}
+		e := &entry[V]{done: make(chan struct{})}
+		c.entries[k] = e
+		c.mu.Unlock()
+		return c.run(k, e, fn), false
+	}
+}
+
+// run executes fn for the in-flight entry e, completing or clearing it.
+func (c *Cache[K, V]) run(k K, e *entry[V], fn func() V) V {
+	defer func() {
+		c.mu.Lock()
+		if !e.complete {
+			// fn panicked: clear the slot so waiters can retry.
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	v := fn()
+	c.mu.Lock()
+	e.val = v
+	e.complete = true
+	e.elem = c.order.PushFront(k)
+	if c.max > 0 {
+		for c.order.Len() > c.max {
+			back := c.order.Back()
+			evk := back.Value.(K)
+			c.order.Remove(back)
+			if ev, ok := c.entries[evk]; ok {
+				if c.OnEvict != nil {
+					c.OnEvict(evk, ev.val)
+				}
+				delete(c.entries, evk)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Len returns the number of completed entries currently cached.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
