@@ -4,17 +4,23 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"gopim/internal/obs"
 	"gopim/internal/serve"
 )
 
 // serveFlags carries the parsed `gopim serve` configuration.
 type serveFlags struct {
 	cfg serve.Config
+	// accessLog is the structured-log destination: "" = off, "-" =
+	// stderr, else a file path. Opened by serveCmd, not here, so flag
+	// parsing stays side-effect-free and testable.
+	accessLog string
 }
 
 // parseServeFlags parses the serve subcommand's own flag set. Split
@@ -26,8 +32,11 @@ func parseServeFlags(args []string) (serveFlags, error) {
 	queue := fs.Int("queue", serve.DefaultQueueDepth, "waiting requests admitted beyond the workers; overflow gets 429")
 	cacheSize := fs.Int("cache", serve.DefaultCacheSize, "cached plans before LRU eviction")
 	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline (queue wait + computation)")
+	accessLog := fs.String("access-log", "", "structured JSON access log destination (\"-\" = stderr)")
+	traceSample := fs.Float64("trace-sample", 1.0, "fraction of requests recording per-stage spans (0..1)")
+	ring := fs.Int("requests-ring", serve.DefaultRequestRing, "completed requests retained by /debug/requests (0 = none)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: gopim [flags] serve [-addr A] [-serve-workers N] [-queue N] [-cache N] [-request-timeout D]")
+		fmt.Fprintln(os.Stderr, "usage: gopim [flags] serve [-addr A] [-serve-workers N] [-queue N] [-cache N] [-request-timeout D] [-access-log PATH] [-trace-sample F] [-requests-ring N]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,17 +54,32 @@ func parseServeFlags(args []string) (serveFlags, error) {
 	if *reqTimeout <= 0 {
 		return serveFlags{}, fmt.Errorf("serve: -request-timeout %v must be positive", *reqTimeout)
 	}
-	f := serveFlags{cfg: serve.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *reqTimeout,
-	}}
-	// Config uses 0 = default, -1 = none; the flag uses plain counts.
+	if *traceSample < 0 || *traceSample > 1 || *traceSample != *traceSample {
+		return serveFlags{}, fmt.Errorf("serve: -trace-sample %v must be in [0,1]", *traceSample)
+	}
+	if *ring < 0 {
+		return serveFlags{}, fmt.Errorf("serve: -requests-ring %d must be ≥ 0", *ring)
+	}
+	f := serveFlags{
+		cfg: serve.Config{
+			Addr:           *addr,
+			Workers:        *workers,
+			CacheSize:      *cacheSize,
+			RequestTimeout: *reqTimeout,
+			TraceSample:    *traceSample,
+		},
+		accessLog: *accessLog,
+	}
+	// Config uses 0 = default, -1 = none; the flags use plain counts.
 	if *queue == 0 {
 		f.cfg.QueueDepth = -1
 	} else {
 		f.cfg.QueueDepth = *queue
+	}
+	if *ring == 0 {
+		f.cfg.RequestRing = -1
+	} else {
+		f.cfg.RequestRing = *ring
 	}
 	return f, nil
 }
@@ -73,6 +97,25 @@ func serveCmd(sess *obsSession, args []string) error {
 	_, onDone := sess.hooks()
 	if onDone != nil {
 		f.cfg.OnRequest = onDone
+	}
+
+	// Access log: structured JSON lines to stderr or a file, with the
+	// process warn path routed through the same sink so every line of
+	// the daemon's output is one greppable stream.
+	if f.accessLog != "" {
+		var w io.Writer = os.Stderr
+		if f.accessLog != "-" {
+			af, err := os.Create(f.accessLog)
+			if err != nil {
+				return fmt.Errorf("-access-log: %w", err)
+			}
+			defer af.Close()
+			w = af
+		}
+		al := obs.NewAccessLogger(w)
+		f.cfg.AccessLog = al
+		restore := obs.SetLogger(al.Logger())
+		defer restore()
 	}
 
 	srv := serve.New(f.cfg)

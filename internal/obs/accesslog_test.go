@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeLogLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("access log line is not JSON: %v\n%s", err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestAccessLoggerRequestLine(t *testing.T) {
+	var buf bytes.Buffer
+	al := NewAccessLogger(&buf)
+	al.LogRequest(RequestRecord{
+		TraceID:   "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:    "00f067aa0ba902b7",
+		Method:    "POST",
+		Path:      "/v1/plan",
+		Label:     "plan:ddi/GoPIM",
+		Status:    200,
+		WallNS:    2_500_000,
+		BodyBytes: 321,
+		Cache:     "miss",
+		Sampled:   true,
+	})
+
+	lines := decodeLogLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("%d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["msg"] != "request" || m["level"] != "INFO" {
+		t.Fatalf("line = %v", m)
+	}
+	if m["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" ||
+		m["span_id"] != "00f067aa0ba902b7" ||
+		m["method"] != "POST" || m["path"] != "/v1/plan" ||
+		m["label"] != "plan:ddi/GoPIM" || m["cache"] != "miss" ||
+		m["sampled"] != true {
+		t.Fatalf("line fields = %v", m)
+	}
+	if m["status"].(float64) != 200 || m["bytes"].(float64) != 321 {
+		t.Fatalf("status/bytes = %v/%v", m["status"], m["bytes"])
+	}
+	if m["dur_ms"].(float64) != 2.5 {
+		t.Fatalf("dur_ms = %v", m["dur_ms"])
+	}
+}
+
+func TestAccessLoggerShedLine(t *testing.T) {
+	var buf bytes.Buffer
+	al := NewAccessLogger(&buf)
+	al.LogShed(RequestRecord{
+		TraceID: "abcdefabcdefabcdefabcdefabcdefab",
+		Path:    "/v1/plan",
+		Status:  429,
+	}, "queue full")
+
+	lines := decodeLogLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("%d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["msg"] != "request_shed" || m["level"] != "WARN" || m["reason"] != "queue full" {
+		t.Fatalf("shed line = %v", m)
+	}
+}
+
+func TestAccessLoggerNilSafe(t *testing.T) {
+	var al *AccessLogger
+	al.LogRequest(RequestRecord{})
+	al.LogShed(RequestRecord{}, "x")
+	if al.Logger() != nil {
+		t.Fatal("nil logger must expose a nil slog.Logger")
+	}
+}
+
+func TestAccessLoggerConcurrentLinesStayWhole(t *testing.T) {
+	var buf bytes.Buffer
+	al := NewAccessLogger(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				al.LogRequest(RequestRecord{Method: "GET", Path: "/healthz", Status: 200})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := decodeLogLines(t, &buf)
+	if len(lines) != 400 {
+		t.Fatalf("%d intact JSON lines, want 400", len(lines))
+	}
+}
+
+func TestWarnfRoutesThroughInstalledLogger(t *testing.T) {
+	var buf bytes.Buffer
+	al := NewAccessLogger(&buf)
+	restore := SetLogger(al.Logger())
+
+	// Nothing may reach the plain stderr path while a logger is set.
+	var stderrBuf bytes.Buffer
+	restoreWarn := SetWarnOutput(&stderrBuf)
+	defer restoreWarn()
+
+	Warnf("serve", "disk %s is %d%% full", "/data", 93)
+
+	lines := decodeLogLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("%d structured warn lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["level"] != "WARN" || m["component"] != "serve" || m["msg"] != "disk /data is 93% full" {
+		t.Fatalf("warn line = %v", m)
+	}
+	if stderrBuf.Len() != 0 {
+		t.Fatalf("warn leaked to the plain path: %q", stderrBuf.String())
+	}
+
+	// After restore, warnings take the plain path again.
+	restore()
+	Warnf("serve", "back to stderr")
+	if !strings.Contains(stderrBuf.String(), "back to stderr") {
+		t.Fatal("restore did not reinstate the plain warn path")
+	}
+	if len(decodeLogLines(t, &buf)) != 1 {
+		t.Fatal("restored path still routed through slog")
+	}
+}

@@ -24,16 +24,16 @@ type ExperimentRecord struct {
 // durations. It is written alongside experiment output so a
 // regenerated experiments_full_output.txt always names its provenance.
 type Manifest struct {
-	Tool        string    `json:"tool"`
-	Args        []string  `json:"args"`
-	Seed        int64     `json:"seed"`
-	Workers     int       `json:"workers"`
-	Format      string    `json:"format"`
-	Fast        bool      `json:"fast"`
-	GoVersion   string    `json:"go_version"`
-	GOOS        string    `json:"goos"`
-	GOARCH      string    `json:"goarch"`
-	GitDescribe string    `json:"git_describe,omitempty"`
+	Tool        string   `json:"tool"`
+	Args        []string `json:"args"`
+	Seed        int64    `json:"seed"`
+	Workers     int      `json:"workers"`
+	Format      string   `json:"format"`
+	Fast        bool     `json:"fast"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GitDescribe string   `json:"git_describe,omitempty"`
 	// Fault-injection knobs (-fault-rate/-fault-seed/-fault-verify-max),
 	// recorded only when a fault model is active: a default run's
 	// manifest must stay byte-stable across the fault feature's
@@ -42,7 +42,7 @@ type Manifest struct {
 	FaultSeed      int64     `json:"fault_seed,omitempty"`
 	FaultVerifyMax int       `json:"fault_verify_max,omitempty"`
 	StartedAt      time.Time `json:"started_at"`
-	WallMS      float64   `json:"wall_ms"`
+	WallMS         float64   `json:"wall_ms"`
 	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish
 	// runs: live heap bytes and cumulative GC cycles for the process.
 	// Wall-side provenance, like WallMS — never part of Sim diffs.

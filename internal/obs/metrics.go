@@ -211,14 +211,24 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // span. Resolution is therefore the bucket width — good enough to tell
 // a 10µs p99 from a 10ms one, which is what bench diffs compare — and
 // the estimate is a pure function of the (deterministic) bucket
-// counts, so Sim-clock quantiles diff exactly across runs. Returns 0
-// when empty.
+// counts, so Sim-clock quantiles diff exactly across runs.
+//
+// Edge cases are all defined, never NaN: an empty histogram reports 0
+// for every q; a single-observation histogram reports that observation
+// exactly (the integer sum IS the value, so no bucket interpolation is
+// needed); q outside [0, 1] — including NaN — clamps to the nearest
+// endpoint (NaN clamps to 0).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := float64(h.count.Load())
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if total == 1 {
+		// One observation: its value is the sum (0 for v ≤ 0, which
+		// lands in bucket 0 and adds nothing to the sum).
+		return float64(h.sum.Load())
+	}
+	if !(q > 0) { // catches q < 0 and NaN
 		q = 0
 	}
 	if q > 1 {

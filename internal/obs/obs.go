@@ -38,6 +38,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -85,19 +86,35 @@ func (c Clock) String() string {
 
 // warn is the structured warning path: one line to a process-wide
 // writer plus a registry count, so fallbacks that used to be bare
-// Fprintf calls become visible in snapshots and expvar.
+// Fprintf calls become visible in snapshots and expvar. When a
+// structured logger is installed (SetLogger — the serve daemon's
+// access-log sink), warnings route through it as slog records instead,
+// correlated with access-log lines by sharing the sink.
 var (
 	warnMu  sync.Mutex
 	warnOut io.Writer = os.Stderr
+	slogger atomic.Pointer[slog.Logger]
 )
 
 var warnings = NewCounter("obs.warnings", Wall,
 	"structured warnings emitted via obs.Warnf")
 
+// SetLogger routes Warnf through l as structured slog records (nil
+// restores the plain stderr path) and returns a function undoing the
+// change.
+func SetLogger(l *slog.Logger) (restore func()) {
+	prev := slogger.Swap(l)
+	return func() { slogger.Store(prev) }
+}
+
 // Warnf emits a structured warning attributed to a component
 // ("parallel", "cli", …) and counts it in the default registry.
 func Warnf(component, format string, args ...any) {
 	warnings.Inc()
+	if l := slogger.Load(); l != nil {
+		l.Warn(fmt.Sprintf(format, args...), "component", component)
+		return
+	}
 	warnMu.Lock()
 	defer warnMu.Unlock()
 	fmt.Fprintf(warnOut, "gopim: warn [%s]: %s\n", component, fmt.Sprintf(format, args...))

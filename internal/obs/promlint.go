@@ -1,0 +1,422 @@
+package obs
+
+// A small OpenMetrics/Prometheus text-format linter. CI scrapes the
+// live daemon's /metrics exposition and validates it with this helper
+// instead of shelling out to an external promtool binary; the
+// exposition writer's own tests lint everything they render.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSeriesSample is one parsed sample line.
+type promSeriesSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// promLinter accumulates state across the exposition stream.
+type promLinter struct {
+	errs        []error
+	types       map[string]string // family → declared type
+	helps       map[string]bool
+	seenSamples map[string]bool // family → sample emitted (TYPE must precede)
+	series      map[string]int  // name+sorted-labels → first line (duplicates)
+	samples     []promSeriesSample
+	eofLine     int
+}
+
+func (l *promLinter) errorf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func promValidName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func promValidLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// LintPrometheusText validates a Prometheus 0.0.4 / OpenMetrics text
+// exposition stream and returns every violation found (nil means
+// clean). Checks: line syntax, metric/label name alphabets, label
+// escaping, float-parseable values, TYPE declarations (known type,
+// declared once, before any sample of the family), counter families
+// carrying the _total suffix, duplicate series, histogram coherence
+// (le on every bucket, cumulative monotonicity, a +Inf bucket equal to
+// _count), and nothing after a "# EOF" terminator.
+func LintPrometheusText(r io.Reader) []error {
+	l := &promLinter{
+		types:       map[string]string{},
+		helps:       map[string]bool{},
+		seenSamples: map[string]bool{},
+		series:      map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if l.eofLine > 0 && strings.TrimSpace(text) != "" {
+			l.errorf(line, "content after # EOF (line %d)", l.eofLine)
+			continue
+		}
+		switch {
+		case strings.TrimSpace(text) == "":
+			continue
+		case strings.HasPrefix(text, "#"):
+			l.lintComment(line, text)
+		default:
+			l.lintSample(line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read exposition: %w", err))
+	}
+	l.checkHistograms()
+	l.checkCounters()
+	return l.errs
+}
+
+func (l *promLinter) lintComment(line int, text string) {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment
+	}
+	switch fields[1] {
+	case "EOF":
+		l.eofLine = line
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errorf(line, "malformed TYPE line %q", text)
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !promValidName(name) {
+			l.errorf(line, "invalid family name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset", "gaugehistogram", "unknown":
+		default:
+			l.errorf(line, "unknown metric type %q", typ)
+		}
+		if _, dup := l.types[name]; dup {
+			l.errorf(line, "duplicate TYPE for family %q", name)
+		}
+		if l.seenSamples[name] {
+			l.errorf(line, "TYPE for %q after its samples", name)
+		}
+		l.types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			l.errorf(line, "malformed HELP line %q", text)
+			return
+		}
+		name := fields[2]
+		if !promValidName(name) {
+			l.errorf(line, "invalid family name %q in HELP", name)
+		}
+		if l.helps[name] {
+			l.errorf(line, "duplicate HELP for family %q", name)
+		}
+		l.helps[name] = true
+	}
+}
+
+// familyOf maps a sample name onto its declared family: histogram
+// sub-series (_bucket/_sum/_count) attribute to the histogram family.
+func (l *promLinter) familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := l.types[base]; ok && (t == "histogram" || t == "summary" || t == "gaugehistogram") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func (l *promLinter) lintSample(line int, text string) {
+	rest := text
+	nameEnd := strings.IndexAny(rest, "{ \t")
+	if nameEnd < 0 {
+		l.errorf(line, "sample %q has no value", text)
+		return
+	}
+	name := rest[:nameEnd]
+	if !promValidName(name) {
+		l.errorf(line, "invalid metric name %q", name)
+		return
+	}
+	rest = rest[nameEnd:]
+
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		var ok bool
+		rest, ok = l.lintLabels(line, rest, labels)
+		if !ok {
+			return
+		}
+	}
+	valueFields := strings.Fields(rest)
+	if len(valueFields) == 0 || len(valueFields) > 2 {
+		l.errorf(line, "sample %q needs 'value [timestamp]' after the name", text)
+		return
+	}
+	value, err := parsePromFloat(valueFields[0])
+	if err != nil {
+		l.errorf(line, "value %q is not a float", valueFields[0])
+		return
+	}
+	if len(valueFields) == 2 {
+		if _, err := strconv.ParseFloat(valueFields[1], 64); err != nil {
+			l.errorf(line, "timestamp %q is not numeric", valueFields[1])
+		}
+	}
+
+	fam := l.familyOf(name)
+	l.seenSamples[fam] = true
+	key := seriesKey(name, labels)
+	if first, dup := l.series[key]; dup {
+		l.errorf(line, "duplicate series %s (first at line %d)", key, first)
+	} else {
+		l.series[key] = line
+	}
+	l.samples = append(l.samples, promSeriesSample{name: name, labels: labels, value: value, line: line})
+}
+
+// lintLabels parses a {k="v",...} block, filling labels, and returns
+// the remainder of the line.
+func (l *promLinter) lintLabels(line int, rest string, labels map[string]string) (string, bool) {
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], true
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			l.errorf(line, "label block missing '='")
+			return "", false
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !promValidLabelName(lname) {
+			l.errorf(line, "invalid label name %q", lname)
+			return "", false
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			l.errorf(line, "label %q value is not quoted", lname)
+			return "", false
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				l.errorf(line, "unterminated label value for %q", lname)
+				return "", false
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					l.errorf(line, "dangling escape in label %q", lname)
+					return "", false
+				}
+				esc := rest[i+1]
+				switch esc {
+				case '\\', '"':
+					val.WriteByte(esc)
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					l.errorf(line, "invalid escape \\%c in label %q", esc, lname)
+					return "", false
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		rest = rest[i+1:]
+		if _, dup := labels[lname]; dup {
+			l.errorf(line, "duplicate label %q in one sample", lname)
+		}
+		labels[lname] = val.String()
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], true
+		}
+		l.errorf(line, "expected ',' or '}' in label block, got %q", rest)
+		return "", false
+	}
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkCounters enforces the OpenMetrics counter naming convention:
+// every family declared counter exposes samples suffixed _total.
+func (l *promLinter) checkCounters() {
+	for fam, typ := range l.types {
+		if typ != "counter" {
+			continue
+		}
+		if !strings.HasSuffix(fam, "_total") {
+			l.errs = append(l.errs, fmt.Errorf("counter family %q is not suffixed _total", fam))
+		}
+	}
+	for _, s := range l.samples {
+		if l.types[s.name] == "counter" && s.value < 0 {
+			l.errorf(s.line, "counter %s has negative value %v", s.name, s.value)
+		}
+	}
+}
+
+// checkHistograms verifies, per histogram family and per distinct
+// non-le label set: every _bucket carries le, cumulative counts are
+// non-decreasing over increasing le, a le="+Inf" bucket exists, and it
+// agrees with the family's _count sample.
+func (l *promLinter) checkHistograms() {
+	type bucket struct {
+		le    float64
+		value float64
+		line  int
+	}
+	buckets := map[string][]bucket{} // family + base labels → buckets
+	counts := map[string]float64{}
+	haveCount := map[string]bool{}
+
+	groupKey := func(fam string, labels map[string]string) string {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		return seriesKey(fam, rest)
+	}
+
+	for _, s := range l.samples {
+		for _, suffix := range []string{"_bucket", "_count"} {
+			base := strings.TrimSuffix(s.name, suffix)
+			if base == s.name || l.types[base] != "histogram" {
+				continue
+			}
+			key := groupKey(base, s.labels)
+			if suffix == "_count" {
+				counts[key] = s.value
+				haveCount[key] = true
+				continue
+			}
+			le, ok := s.labels["le"]
+			if !ok {
+				l.errorf(s.line, "histogram bucket %s without le label", s.name)
+				continue
+			}
+			lev, err := parsePromFloat(le)
+			if err != nil {
+				l.errorf(s.line, "bucket le %q is not a float", le)
+				continue
+			}
+			buckets[key] = append(buckets[key], bucket{le: lev, value: s.value, line: s.line})
+		}
+	}
+
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		prev := math.Inf(-1)
+		var hasInf bool
+		var infVal float64
+		for _, b := range bs {
+			if b.value < prev {
+				l.errorf(b.line, "histogram %s buckets not cumulative: %v after %v", key, b.value, prev)
+			}
+			prev = b.value
+			if math.IsInf(b.le, 1) {
+				hasInf = true
+				infVal = b.value
+			}
+		}
+		if !hasInf {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key))
+			continue
+		}
+		if haveCount[key] && counts[key] != infVal {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, infVal, counts[key]))
+		}
+	}
+}

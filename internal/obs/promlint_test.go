@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// -promlint-file points the linter at an exposition file scraped from a
+// live daemon; CI's serve smoke test uses this to validate /metrics
+// without an external promtool binary.
+var promlintFile = flag.String("promlint-file", "", "lint this Prometheus/OpenMetrics text file and fail on violations")
+
+func TestPromLintExternalFile(t *testing.T) {
+	if *promlintFile == "" {
+		t.Skip("no -promlint-file given")
+	}
+	f, err := os.Open(*promlintFile)
+	if err != nil {
+		t.Fatalf("open exposition: %v", err)
+	}
+	defer f.Close()
+	if errs := LintPrometheusText(f); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+}
+
+func TestPromLintAcceptsCleanExposition(t *testing.T) {
+	clean := `# HELP gopim_serve_requests_total planning API requests received
+# TYPE gopim_serve_requests_total counter
+gopim_serve_requests_total{clock="sim"} 7
+# TYPE gopim_http_in_flight gauge
+gopim_http_in_flight 3
+# TYPE gopim_lat histogram
+gopim_lat_bucket{le="2"} 1
+gopim_lat_bucket{le="4"} 3
+gopim_lat_bucket{le="+Inf"} 3
+gopim_lat_sum 7
+gopim_lat_count 3
+# EOF
+`
+	if errs := LintPrometheusText(strings.NewReader(clean)); len(errs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestPromLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{
+			"bad metric name",
+			"bad-name 1\n",
+			"invalid metric name",
+		},
+		{
+			"unparseable value",
+			"gopim_x one\n",
+			"not a float",
+		},
+		{
+			"unknown type",
+			"# TYPE gopim_x widget\n",
+			"unknown metric type",
+		},
+		{
+			"duplicate type",
+			"# TYPE gopim_x gauge\n# TYPE gopim_x gauge\n",
+			"duplicate TYPE",
+		},
+		{
+			"type after samples",
+			"gopim_x 1\n# TYPE gopim_x gauge\n",
+			"after its samples",
+		},
+		{
+			"duplicate series",
+			"gopim_x{a=\"1\"} 1\ngopim_x{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"counter without _total",
+			"# TYPE gopim_x counter\ngopim_x 1\n",
+			"not suffixed _total",
+		},
+		{
+			"negative counter",
+			"# TYPE gopim_x_total counter\ngopim_x_total -1\n",
+			"negative value",
+		},
+		{
+			"bucket without le",
+			"# TYPE gopim_h histogram\ngopim_h_bucket 1\ngopim_h_bucket{le=\"+Inf\"} 1\ngopim_h_count 1\n",
+			"without le",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE gopim_h histogram\ngopim_h_bucket{le=\"1\"} 5\ngopim_h_bucket{le=\"2\"} 3\ngopim_h_bucket{le=\"+Inf\"} 5\ngopim_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE gopim_h histogram\ngopim_h_bucket{le=\"1\"} 1\ngopim_h_count 1\n",
+			"no le=\"+Inf\"",
+		},
+		{
+			"+Inf disagrees with count",
+			"# TYPE gopim_h histogram\ngopim_h_bucket{le=\"+Inf\"} 2\ngopim_h_count 3\n",
+			"!= count",
+		},
+		{
+			"content after EOF",
+			"gopim_x 1\n# EOF\ngopim_y 2\n",
+			"after # EOF",
+		},
+		{
+			"bad label escape",
+			"gopim_x{a=\"\\t\"} 1\n",
+			"invalid escape",
+		},
+		{
+			"unterminated label value",
+			"gopim_x{a=\"oops 1\n",
+			"unterminated",
+		},
+		{
+			"invalid label name",
+			"gopim_x{9a=\"v\"} 1\n",
+			"invalid label name",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := LintPrometheusText(strings.NewReader(c.in))
+			if len(errs) == 0 {
+				t.Fatalf("linter accepted %q", c.in)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("errors %v do not mention %q", errs, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+// The live request inspector: GET /debug/requests reconstructs every
+// active and recently completed request — status, latency, cache
+// disposition, trace ID — with a per-stage waterfall, as HTML for
+// humans and JSON for scripts. All data comes from the Wall-clock
+// request log; the inspector reads copies and never touches a Sim
+// metric, so scraping it cannot perturb deterministic snapshots.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"gopim/internal/obs"
+)
+
+// requestsPayload is the JSON shape of /debug/requests?format=json.
+type requestsPayload struct {
+	Active    []obs.RequestRecord `json:"active"`
+	Completed []obs.RequestRecord `json:"completed"`
+}
+
+// handleRequests serves the inspector.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	active, completed := s.reqlog.Snapshot()
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		writeJSON(w, http.StatusOK, requestsPayload{
+			Active:    active,
+			Completed: completed,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = requestsTemplate.Execute(w, inspectorView{
+		Active:    toRequestViews(active),
+		Completed: toRequestViews(completed),
+	})
+}
+
+// stageColors give each lifecycle stage a stable waterfall colour.
+var stageColors = map[string]string{
+	"cache_lookup":      "#7aa2f7",
+	"admission":         "#e0af68",
+	"workspace_acquire": "#f7768e",
+	"plan":              "#9ece6a",
+	"simulate":          "#2ac3de",
+	"marshal":           "#bb9af7",
+}
+
+type stageView struct {
+	Name     string
+	DurMS    string
+	LeftPct  string
+	WidthPct string
+	Color    string
+}
+
+type requestView struct {
+	Seq     uint64
+	TraceID string
+	Label   string
+	Method  string
+	Path    string
+	Status  int
+	Ok      bool
+	Cache   string
+	Error   string
+	WallMS  string
+	Sampled bool
+	Active  bool
+	Stages  []stageView
+}
+
+type inspectorView struct {
+	Active    []requestView
+	Completed []requestView
+}
+
+func toRequestViews(recs []obs.RequestRecord) []requestView {
+	out := make([]requestView, 0, len(recs))
+	for _, rec := range recs {
+		v := requestView{
+			Seq:     rec.Seq,
+			TraceID: rec.TraceID,
+			Label:   rec.Label,
+			Method:  rec.Method,
+			Path:    rec.Path,
+			Status:  rec.Status,
+			Ok:      rec.Status < 400 && !rec.Active,
+			Cache:   rec.Cache,
+			Error:   rec.Error,
+			WallMS:  fmt.Sprintf("%.2f", float64(rec.WallNS)/1e6),
+			Sampled: rec.Sampled,
+			Active:  rec.Active,
+		}
+		wall := rec.WallNS
+		if wall <= 0 {
+			wall = 1
+		}
+		for _, st := range rec.Stages {
+			left := float64(st.StartNS) / float64(wall) * 100
+			width := float64(st.DurNS) / float64(wall) * 100
+			if width < 0.5 {
+				width = 0.5 // keep microsecond stages visible
+			}
+			if left > 99.5 {
+				left = 99.5
+			}
+			color := stageColors[st.Name]
+			if color == "" {
+				color = "#565f89"
+			}
+			v.Stages = append(v.Stages, stageView{
+				Name:     st.Name,
+				DurMS:    fmt.Sprintf("%.3f", float64(st.DurNS)/1e6),
+				LeftPct:  fmt.Sprintf("%.2f", left),
+				WidthPct: fmt.Sprintf("%.2f", width),
+				Color:    color,
+			})
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+var requestsTemplate = template.Must(template.New("requests").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>gopim requests</title>
+<style>
+body { font: 13px/1.5 ui-monospace, monospace; background: #1a1b26; color: #c0caf5; margin: 1.5em; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; color: #a9b1d6; margin-top: 1.5em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 3px 10px 3px 0; vertical-align: top; white-space: nowrap; }
+th { color: #565f89; font-weight: normal; border-bottom: 1px solid #2f3549; }
+.trace { color: #7aa2f7; } .ok { color: #9ece6a; } .err { color: #f7768e; }
+.cache-hit { color: #9ece6a; } .cache-miss { color: #e0af68; } .cache-coalesced { color: #2ac3de; }
+.lane { position: relative; width: 340px; height: 14px; background: #24283b; border-radius: 2px; }
+.stage { position: absolute; top: 2px; height: 10px; border-radius: 1px; }
+.legend span { margin-right: 1em; }
+.swatch { display: inline-block; width: 9px; height: 9px; margin-right: 4px; border-radius: 1px; }
+.empty { color: #565f89; }
+</style></head><body>
+<h1>gopim serve — request inspector</h1>
+<div class="legend">
+  <span><i class="swatch" style="background:#7aa2f7"></i>cache_lookup</span>
+  <span><i class="swatch" style="background:#e0af68"></i>admission</span>
+  <span><i class="swatch" style="background:#f7768e"></i>workspace_acquire</span>
+  <span><i class="swatch" style="background:#9ece6a"></i>plan</span>
+  <span><i class="swatch" style="background:#2ac3de"></i>simulate</span>
+  <span><i class="swatch" style="background:#bb9af7"></i>marshal</span>
+</div>
+{{define "rows"}}
+<table><tr><th>#</th><th>trace</th><th>request</th><th>status</th><th>cache</th><th>wall ms</th><th>waterfall</th></tr>
+{{range .}}<tr>
+<td>{{.Seq}}</td>
+<td class="trace" title="{{.TraceID}}">{{printf "%.16s" .TraceID}}</td>
+<td>{{.Method}} {{.Path}}{{if .Label}} · {{.Label}}{{end}}</td>
+<td class="{{if .Active}}trace{{else if .Ok}}ok{{else}}err{{end}}">{{if .Active}}in flight{{else}}{{.Status}}{{end}}{{if .Error}} <span class="err" title="{{.Error}}">!</span>{{end}}</td>
+<td class="cache-{{.Cache}}">{{.Cache}}</td>
+<td>{{.WallMS}}</td>
+<td><div class="lane">{{range .Stages}}<div class="stage" title="{{.Name}} {{.DurMS}}ms" style="left:{{.LeftPct}}%;width:{{.WidthPct}}%;background:{{.Color}}"></div>{{end}}</div></td>
+</tr>{{end}}</table>
+{{end}}
+<h2>active ({{len .Active}})</h2>
+{{if .Active}}{{template "rows" .Active}}{{else}}<p class="empty">none</p>{{end}}
+<h2>recently completed ({{len .Completed}})</h2>
+{{if .Completed}}{{template "rows" .Completed}}{{else}}<p class="empty">none</p>{{end}}
+<p class="empty">JSON: <a href="/debug/requests?format=json" class="trace">/debug/requests?format=json</a> · refreshes every 2s</p>
+</body></html>`))

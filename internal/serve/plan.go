@@ -264,11 +264,11 @@ type SimSummary struct {
 // byte-identical serialisations of this struct — the determinism
 // contract the handler tests pin.
 type PlanResponse struct {
-	Dataset      string      `json:"dataset"`
-	Model        string      `json:"model"`
-	Seed         int64       `json:"seed"`
-	MicroBatch   int         `json:"micro_batch"`
-	MicroBatches int         `json:"micro_batches"`
+	Dataset      string `json:"dataset"`
+	Model        string `json:"model"`
+	Seed         int64  `json:"seed"`
+	MicroBatch   int    `json:"micro_batch"`
+	MicroBatches int    `json:"micro_batches"`
 	// Theta is the resolved selective-updating threshold (the adaptive
 	// rule's choice when the request left it 0).
 	Theta float64 `json:"theta"`
@@ -291,6 +291,16 @@ type PlanResponse struct {
 // order — that is what makes the response cacheable and the cache
 // counters Sim-clock material.
 func computePlan(k planKey) *PlanResponse {
+	return computePlanStaged(k, func(string) func() { return func() {} })
+}
+
+// computePlanStaged is computePlan with lifecycle-stage hooks: begin
+// is called with each stage name ("plan", then "simulate" when the
+// request asks for a what-if run) and returns the closer for that
+// stage. The hooks observe timing only — the response remains a pure
+// function of the key.
+func computePlanStaged(k planKey, begin func(name string) func()) *PlanResponse {
+	endPlan := begin("plan")
 	d := k.datasetOf()
 	chip := reram.DefaultChip()
 	deg := d.SynthDegreeModel(k.seed)
@@ -378,8 +388,11 @@ func computePlan(k planKey) *PlanResponse {
 			Replicas:    res.Replicas[i],
 		})
 	}
+	endPlan()
 
 	if k.simulate {
+		endSim := begin("simulate")
+		defer endSim()
 		w := accel.Workload{
 			Dataset:    d,
 			Deg:        deg,

@@ -43,6 +43,8 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"gopim/internal/accel"
@@ -98,6 +100,19 @@ type Config struct {
 	// completes: a short id, its wall duration, and the terminal error
 	// (nil for 200s). The CLI wires this to the run manifest.
 	OnRequest func(id string, wall time.Duration, err error)
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// HTTP request (and a warning line per shed request), correlated
+	// with traces by trace_id.
+	AccessLog *obs.AccessLogger
+	// TraceSample is the head-sampling rate in [0,1] for per-request
+	// span trees: that fraction of the trace-ID space records
+	// Chrome-trace spans for each lifecycle stage. Incoming sampled
+	// traceparent flags are always honored regardless.
+	TraceSample float64
+	// RequestRing bounds the completed requests /debug/requests
+	// retains. 0 means DefaultRequestRing; negative disables retention
+	// (active requests still show).
+	RequestRing int
 }
 
 // Defaults for Config's zero values.
@@ -105,6 +120,7 @@ const (
 	DefaultQueueDepth     = 64
 	DefaultCacheSize      = 1024
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultRequestRing    = 128
 )
 
 // workspace is one request's scratch state, drawn from the bounded
@@ -120,15 +136,19 @@ type workspace struct {
 
 // Server is the planning daemon.
 type Server struct {
-	cfg     Config
-	cache   *singleflight.Cache[planKey, []byte]
-	pool    chan *workspace
-	queued  chan struct{} // admission tokens: Workers+QueueDepth
-	mux     *http.ServeMux
-	ln      net.Listener
-	srv     *http.Server
-	done    chan struct{}
-	started bool
+	cfg      Config
+	cache    *singleflight.Cache[planKey, []byte]
+	pool     chan *workspace
+	queued   chan struct{} // admission tokens: Workers+QueueDepth
+	mux      *http.ServeMux
+	handler  http.Handler // mux behind the telemetry middleware
+	reqlog   *obs.RequestLog
+	inflight atomic.Int64
+	draining atomic.Bool
+	ln       net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	started  bool
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -154,6 +174,17 @@ func New(cfg Config) *Server {
 	if cfg.Timeouts == (obs.ServerTimeouts{}) {
 		cfg.Timeouts = obs.DefaultServerTimeouts()
 	}
+	switch {
+	case cfg.RequestRing == 0:
+		cfg.RequestRing = DefaultRequestRing
+	case cfg.RequestRing < 0:
+		cfg.RequestRing = 0
+	}
+	if cfg.TraceSample < 0 {
+		cfg.TraceSample = 0
+	} else if cfg.TraceSample > 1 {
+		cfg.TraceSample = 1
+	}
 	s := &Server{
 		cfg:    cfg,
 		cache:  singleflight.New[planKey, []byte](cfg.CacheSize),
@@ -165,18 +196,22 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.pool <- &workspace{}
 	}
+	s.reqlog = obs.NewRequestLog(cfg.RequestRing)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-// Handler exposes the daemon's endpoint set (handler tests mount it on
-// httptest servers).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the daemon's endpoint set, telemetry middleware
+// included (handler tests mount it on httptest servers).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Workers reports the bounded pool size requests compute under.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -189,7 +224,7 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
-	s.srv = obs.NewHTTPServer(s.mux, s.cfg.Timeouts)
+	s.srv = obs.NewHTTPServer(s.handler, s.cfg.Timeouts)
 	s.started = true
 	go func() {
 		defer close(s.done)
@@ -206,9 +241,15 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// BeginDrain flips readiness: /readyz answers 503 from here on, so
+// load balancers stop routing new work while in-flight requests
+// finish. Shutdown calls it implicitly.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Shutdown stops accepting connections and drains in-flight requests,
 // bounded by ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	if !s.started {
 		return nil
 	}
@@ -236,6 +277,7 @@ type errorBody struct {
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mRequests.Inc()
+	active := obs.ActiveFrom(r.Context())
 	var reqID string
 	var terminal error
 	defer func() {
@@ -249,6 +291,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}()
 	fail := func(status int, err error) {
 		terminal = err
+		active.SetError(err.Error())
 		writeJSON(w, status, errorBody{Error: err.Error()})
 	}
 
@@ -277,66 +320,78 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqID = fmt.Sprintf("plan:%s/%s", key.datasetOf().Name, key.model)
+	active.SetLabel(reqID)
 
 	// Cache fast path: completed plans are served without consuming a
 	// workspace or queue slot — hits must stay cheap under load.
-	if body, ok := s.cache.Get(key); ok {
+	endLookup := beginStage(r.Context(), "cache_lookup")
+	body, ok := s.cache.Get(key)
+	endLookup()
+	if ok {
 		mHits.Inc()
-		s.writePlan(w, body, true)
+		active.SetCache("hit")
+		s.writePlan(w, body, "hit")
 		return
 	}
 
 	// Admission: claim a queue token (bounded: Workers+QueueDepth) or
 	// shed immediately — the queue must never grow without bound.
+	endAdmission := beginStage(r.Context(), "admission")
 	select {
 	case s.queued <- struct{}{}:
+		endAdmission()
 		defer func() { <-s.queued }()
 	default:
+		endAdmission()
 		mRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		fail(http.StatusTooManyRequests, errors.New("planning queue full, retry later"))
 		return
 	}
 
-	// Workspace: wait for a pool slot under the request deadline.
+	// Workspace: wait for a pool slot under the request deadline. This
+	// stage's duration is the request's queue time.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	endAcquire := beginStage(r.Context(), "workspace_acquire")
 	var ws *workspace
 	select {
 	case ws = <-s.pool:
+		endAcquire()
 		defer func() { s.pool <- ws }()
 	case <-ctx.Done():
+		endAcquire()
 		mDeadline.Inc()
 		fail(http.StatusServiceUnavailable, fmt.Errorf("no planning capacity within deadline: %w", ctx.Err()))
 		return
 	}
 
-	body, hit := s.cache.Do(key, func() []byte {
+	body, out := s.cache.DoOutcome(key, func() []byte {
 		mPlans.Inc()
-		sp := obs.StartSpan("serve.plan")
-		defer sp.End()
-		resp := computePlan(key)
+		resp := computePlanStaged(key, func(name string) func() {
+			return beginStage(r.Context(), name)
+		})
+		endMarshal := beginStage(r.Context(), "marshal")
+		defer endMarshal()
 		ws.enc = ws.enc[:0]
 		ws.enc = append(ws.enc, mustMarshal(resp)...)
 		ws.enc = append(ws.enc, '\n')
 		// The cache owns an immutable copy; ws.enc is reused.
 		return append([]byte(nil), ws.enc...)
 	})
-	if hit {
+	if out.Hit() {
 		mHits.Inc()
 	}
-	s.writePlan(w, body, hit)
+	active.SetCache(out.String())
+	s.writePlan(w, body, out.String())
 }
 
-// writePlan sends a cached plan body. Bodies are immutable cache
-// values, written verbatim so identical requests stay byte-identical.
-func (s *Server) writePlan(w http.ResponseWriter, body []byte, hit bool) {
+// writePlan sends a cached plan body with its cache disposition
+// ("hit", "miss", or "coalesced"). Bodies are immutable cache values,
+// written verbatim so identical requests stay byte-identical.
+func (s *Server) writePlan(w http.ResponseWriter, body []byte, disposition string) {
 	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-Gopim-Cache", "hit")
-	} else {
-		w.Header().Set("X-Gopim-Cache", "miss")
-	}
+	w.Header().Set("X-Gopim-Cache", disposition)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -389,19 +444,75 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, names)
 }
 
+// handleHealth is liveness: 200 as long as the process can answer at
+// all — it stays 200 through a drain (the process is alive; it just
+// doesn't want new work).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves the default registry's Sim-clock snapshot —
-// the deterministic, diffable section. ?clock=all appends the
-// Wall-clock section too.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	reg := obs.Default()
-	if r.URL.Query().Get("clock") == "all" {
-		_ = reg.WriteText(w)
+// handleReady is readiness: 200 while the daemon accepts new work,
+// 503 once BeginDrain/Shutdown starts draining. Load balancers probe
+// this one; orchestrators restart on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	_ = reg.WriteText(w, obs.Sim)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics serves the registry in the negotiated format:
+//
+//   - default (plain curl): the legacy deterministic text snapshot,
+//     Sim clock only; ?clock=all appends the Wall section. Existing
+//     scripts and CI greps keep working unchanged.
+//   - Prometheus/OpenMetrics scrapers (by Accept header, or forced
+//     with ?format=prometheus / ?format=openmetrics): the exposition
+//     format, both clocks, plus Go runtime stats.
+//   - ?format=json or Accept: application/json: the JSON snapshot.
+//
+// Scrape-format requests refresh the saturation gauges first; none of
+// that touches a Sim metric, so scraping cannot perturb deterministic
+// snapshots.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		accept := r.Header.Get("Accept")
+		switch {
+		case strings.Contains(accept, "application/openmetrics-text"):
+			format = "openmetrics"
+		case strings.Contains(accept, "text/plain") && strings.Contains(accept, "version=0.0.4"):
+			format = "prometheus"
+		case strings.Contains(accept, "application/json"):
+			format = "json"
+		}
+	}
+	reg := obs.Default()
+	switch format {
+	case "prometheus", "openmetrics":
+		s.refreshScrapeGauges()
+		openMetrics := format == "openmetrics"
+		if openMetrics {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
+		_ = reg.WritePrometheus(w)
+		_ = obs.WriteRuntimePrometheus(w)
+		if openMetrics {
+			_, _ = fmt.Fprintln(w, "# EOF")
+		}
+	case "json":
+		s.refreshScrapeGauges()
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.URL.Query().Get("clock") == "all" {
+			_ = reg.WriteText(w)
+			return
+		}
+		_ = reg.WriteText(w, obs.Sim)
+	}
 }

@@ -71,16 +71,56 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	return zero, false
 }
 
+// Outcome classifies how a Do call obtained its value — the cache
+// disposition telemetry surfaces per request.
+type Outcome uint8
+
+const (
+	// Computed: this call ran fn itself (a miss).
+	Computed Outcome = iota
+	// Cached: the value was already complete in the cache.
+	Cached
+	// Coalesced: this call waited on another caller's in-flight fn.
+	Coalesced
+)
+
+// Hit reports whether the call reused a computation rather than
+// running fn itself.
+func (o Outcome) Hit() bool { return o != Computed }
+
+// String renders the outcome in cache-header vocabulary.
+func (o Outcome) String() string {
+	switch o {
+	case Cached:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
 // Do returns the value for k, computing it with fn on first use.
 // Concurrent calls for the same key share one fn execution; calls for
 // different keys proceed independently. hit reports whether this call
 // reused a computation (cached or coalesced) rather than running fn
-// itself.
+// itself. DoOutcome additionally distinguishes the two reuse flavours.
 //
 // If fn panics, the panic propagates to the caller that ran it, the
 // key's slot is cleared, and any coalesced waiters retry (one of them
 // becomes the next runner).
 func (c *Cache[K, V]) Do(k K, fn func() V) (v V, hit bool) {
+	v, out := c.DoOutcome(k, fn)
+	return v, out.Hit()
+}
+
+// DoOutcome is Do with the cache disposition surfaced: Computed (this
+// call ran fn), Cached (served from a completed entry), or Coalesced
+// (waited on another caller's in-flight computation). Hit/miss
+// accounting derived from Outcome.Hit() keeps the determinism contract
+// Do established: executions == distinct keys.
+func (c *Cache[K, V]) DoOutcome(k K, fn func() V) (v V, outcome Outcome) {
+	waited := false
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[k]; ok {
@@ -88,10 +128,14 @@ func (c *Cache[K, V]) Do(k K, fn func() V) (v V, hit bool) {
 				c.order.MoveToFront(e.elem)
 				v = e.val
 				c.mu.Unlock()
-				return v, true
+				if waited {
+					return v, Coalesced
+				}
+				return v, Cached
 			}
 			done := e.done
 			c.mu.Unlock()
+			waited = true
 			<-done
 			// The runner finished (or panicked, clearing the slot) — or
 			// the entry completed and was already evicted. Re-check;
@@ -101,7 +145,7 @@ func (c *Cache[K, V]) Do(k K, fn func() V) (v V, hit bool) {
 				c.order.MoveToFront(e2.elem)
 				v = e2.val
 				c.mu.Unlock()
-				return v, true
+				return v, Coalesced
 			}
 			c.mu.Unlock()
 			continue
@@ -109,7 +153,7 @@ func (c *Cache[K, V]) Do(k K, fn func() V) (v V, hit bool) {
 		e := &entry[V]{done: make(chan struct{})}
 		c.entries[k] = e
 		c.mu.Unlock()
-		return c.run(k, e, fn), false
+		return c.run(k, e, fn), Computed
 	}
 }
 

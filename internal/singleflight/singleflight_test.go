@@ -169,3 +169,77 @@ func TestDeterministicMissCount(t *testing.T) {
 		}
 	}
 }
+
+// TestDoOutcomeDispositions pins the three Outcome values: the first
+// call computes, a later sequential call is cached, and concurrent
+// callers piled behind an in-flight computation report coalesced.
+func TestDoOutcomeDispositions(t *testing.T) {
+	c := New[string, int](0)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	firstDone := make(chan Outcome, 1)
+	go func() {
+		_, out := c.DoOutcome("k", func() int {
+			close(started)
+			<-release
+			return 7
+		})
+		firstDone <- out
+	}()
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	outcomes := make(chan Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out := c.DoOutcome("k", func() int { return -1 })
+			if v != 7 {
+				t.Errorf("coalesced DoOutcome = %d, want 7", v)
+			}
+			outcomes <- out
+		}()
+	}
+	// Let the waiters pile up behind the in-flight computation, then
+	// release the runner.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(outcomes)
+
+	if out := <-firstDone; out != Computed {
+		t.Fatalf("runner outcome = %v, want Computed", out)
+	}
+	// Waiters either blocked on the in-flight run (Coalesced) or arrived
+	// after completion (Cached); none may have computed.
+	for out := range outcomes {
+		if out == Computed {
+			t.Fatal("a coalesced waiter reported Computed")
+		}
+	}
+
+	if _, out := c.DoOutcome("k", func() int { return -1 }); out != Cached {
+		t.Fatalf("sequential repeat outcome = %v, want Cached", out)
+	}
+}
+
+// TestOutcomeStrings pins the header vocabulary the daemon surfaces.
+func TestOutcomeStrings(t *testing.T) {
+	cases := []struct {
+		out Outcome
+		s   string
+		hit bool
+	}{
+		{Computed, "miss", false},
+		{Cached, "hit", true},
+		{Coalesced, "coalesced", true},
+	}
+	for _, c := range cases {
+		if c.out.String() != c.s || c.out.Hit() != c.hit {
+			t.Errorf("%v: String=%q Hit=%v, want %q/%v", c.out, c.out.String(), c.out.Hit(), c.s, c.hit)
+		}
+	}
+}
