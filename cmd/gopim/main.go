@@ -10,6 +10,9 @@
 //	gopim gantt <dataset> <model>  render the pipeline schedule
 //	gopim theta <dataset>          re-derive the adaptive θ (§VI-C)
 //	gopim endurance <dataset>      ISU's array-lifetime effect
+//	gopim explain <dataset> [model]  critical-path bottleneck analysis:
+//	                               which stage bounds the makespan, why,
+//	                               and what ±1 replica would change
 //	gopim bench -label L           run the regression bench suite and
 //	                               write BENCH_L.json; -attrib adds the
 //	                               stage-level attribution report
@@ -167,6 +170,10 @@ func main() {
 		if err := benchCmd(args[1:], *seed, *fast, outFormat); err != nil {
 			fatal(err.Error())
 		}
+	case "explain":
+		if err := explainCmd(sess, args[1:], *seed, outFormat); err != nil {
+			fatal(err.Error())
+		}
 	case "serve":
 		if err := serveCmd(sess, args[1:]); err != nil {
 			fatal(err.Error())
@@ -217,6 +224,7 @@ usage:
   gopim [flags] <experiment-id>...
   gopim [flags] compare <dataset>
   gopim [flags] bench [-label L] [-repeats N] [-attrib]
+  gopim [flags] explain [-mb N] [-json] [-no-sensitivity] [-gantt] <dataset> [model]
   gopim [flags] diff [-rel R] <old.json> <new.json>
   gopim [flags] serve [-addr A] [-serve-workers N] [-queue N] [-cache N]
 

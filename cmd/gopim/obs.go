@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"gopim/internal/explain"
 	"gopim/internal/obs"
 )
 
@@ -65,6 +66,20 @@ func (s *obsSession) setFaultInfo(rate float64, seed int64, verifyMax int) {
 	s.manifest.FaultRate = rate
 	s.manifest.FaultSeed = seed
 	s.manifest.FaultVerifyMax = verifyMax
+}
+
+// setExplainInfo records the headline critical-path figures in the
+// run manifest. No-op without a manifest, so other subcommands'
+// manifests keep their shape.
+func (s *obsSession) setExplainInfo(ex *explain.Result) {
+	if s.manifest == nil || ex == nil {
+		return
+	}
+	s.manifest.ExplainBottleneck = ex.Bottleneck
+	if len(ex.Stages) > ex.BottleneckStage {
+		s.manifest.ExplainCritShare = ex.Stages[ex.BottleneckStage].CritShare
+	}
+	s.manifest.ExplainEq6GapFrac = ex.Eq6GapFrac
 }
 
 // startObsSession validates the observability flags and opens their

@@ -21,6 +21,7 @@ import (
 
 	"gopim/internal/alloc"
 	"gopim/internal/energy"
+	"gopim/internal/explain"
 	"gopim/internal/fault"
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
@@ -28,6 +29,7 @@ import (
 	"gopim/internal/pipeline"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
+	"gopim/internal/trace"
 )
 
 // Model-level metrics. Everything recorded here is a pure function of
@@ -86,6 +88,51 @@ func recordReport(r Report) {
 			"per-stage idle fraction (busy/idle split of Figs. 4/15)").
 			Observe(r.IdleFrac[i])
 	}
+	// Critical-path attribution: re-simulate the schedule at event
+	// level (unrecorded, so trace.* series stay put) and publish which
+	// stages bind the makespan and where the idle time sits. Both are
+	// pure functions of the workload, and the analyzer guards every
+	// division, so the series are Sim-safe by construction.
+	ex := explain.Analyze(TraceInput(r), r.StageNames, explain.Options{})
+	for i, name := range r.StageNames {
+		skv := obs.LabelSuffix("dataset", r.Dataset, "model", r.Kind.String(),
+			"stage", name)
+		obs.NewDistribution("accel.crit_share"+skv, obs.Sim,
+			"fraction of the makespan this stage spends on the critical path").
+			Observe(ex.Stages[i].CritShare)
+	}
+	for _, class := range explain.BubbleClasses {
+		var ns float64
+		for _, s := range ex.Stages {
+			ns += s.BubbleNS(class)
+		}
+		ckv := obs.LabelSuffix("dataset", r.Dataset, "model", r.Kind.String(),
+			"class", class)
+		obs.NewDistribution("accel.bubble_ns"+ckv, obs.Sim,
+			"replica-lane idle time in this bubble class, summed over stages").
+			Observe(ns)
+	}
+}
+
+// TraceInput builds the event-level simulation input that reproduces a
+// report's schedule at replica granularity: true stage times, the
+// allocated replicas, the epoch's micro-batches, and the barrier
+// placement implied by the model's pipeline mode (Serial = barrier
+// after every micro-batch; IntraBatch models = barrier per batch
+// window; intra+inter models = no barrier).
+func TraceInput(r Report) trace.Input {
+	in := trace.Input{
+		TimesNS:      r.StageTimesNS,
+		Replicas:     r.Replicas,
+		MicroBatches: r.MicroBatches,
+	}
+	switch r.Kind {
+	case Serial:
+		in.MicroBatchesPerBatch = 1
+	case SlimGNNLike, ReGraphX, Pipelayer:
+		in.MicroBatchesPerBatch = r.MicroBatchesPerBatch
+	}
+	return in
 }
 
 // Kind names an accelerator model.
@@ -218,6 +265,9 @@ type Report struct {
 	IdleFrac []float64
 	// MicroBatches is B for this run (one epoch sweep).
 	MicroBatches int
+	// MicroBatchesPerBatch is the intra-batch window the workload ran
+	// with (relevant to barrier placement in IntraBatch-mode models).
+	MicroBatchesPerBatch int
 	// UpdateFraction is the steady-state fraction of vertex rows
 	// rewritten per epoch (1 without ISU).
 	UpdateFraction float64
@@ -395,21 +445,22 @@ func Run(kind Kind, w Workload) Report {
 		xbs[i] = s.Crossbars
 	}
 	rep := Report{
-		Kind:              kind,
-		Dataset:           w.Dataset.Name,
-		StageTimesNS:      req.TimesNS,
-		MakespanNS:        sched.MakespanNS,
-		Energy:            eng,
-		Replicas:          res.Replicas,
-		StageNames:        names,
-		CrossbarsPerStage: xbs,
-		CrossbarsUsed:     crossbarsUsed,
-		IdleFrac:          sched.IdleFrac,
-		MicroBatches:      numMB,
-		UpdateFraction:    updateFraction,
-		WriteRetryFactor:  retryFactor,
-		CrossbarsRetired:  retired,
-		AllocDegraded:     res.Degraded,
+		Kind:                 kind,
+		Dataset:              w.Dataset.Name,
+		StageTimesNS:         req.TimesNS,
+		MakespanNS:           sched.MakespanNS,
+		Energy:               eng,
+		Replicas:             res.Replicas,
+		StageNames:           names,
+		CrossbarsPerStage:    xbs,
+		CrossbarsUsed:        crossbarsUsed,
+		IdleFrac:             sched.IdleFrac,
+		MicroBatches:         numMB,
+		MicroBatchesPerBatch: w.MicroBatchesPerBatch,
+		UpdateFraction:       updateFraction,
+		WriteRetryFactor:     retryFactor,
+		CrossbarsRetired:     retired,
+		AllocDegraded:        res.Degraded,
 	}
 	if fm.Enabled() {
 		recordFault(fm, rep, stages, w.Chip)

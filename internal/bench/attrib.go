@@ -64,6 +64,8 @@ type attribRow struct {
 	updateFrac     float64
 	hasUpdateFrac  bool
 	idle           map[string]float64 // stage -> idle fraction
+	crit           map[string]float64 // stage -> critical-path share
+	bubble         map[string]float64 // bubble class -> idle ns
 }
 
 // Attribution pivots the per-{dataset, model} accelerator series of a
@@ -78,6 +80,7 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 	stages := map[string]bool{}
 	var rowsRewritten, rowsTotal float64
 	var faultyCells, writeRetries, retired, degraded float64
+	hasExplain := false
 	get := func(labels map[string]string) *attribRow {
 		key := labels["dataset"] + "\x00" + labels["model"]
 		r := rows[key]
@@ -85,6 +88,7 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 			r = &attribRow{
 				dataset: labels["dataset"], model: labels["model"],
 				idle: map[string]float64{},
+				crit: map[string]float64{}, bubble: map[string]float64{},
 			}
 			rows[key] = r
 		}
@@ -132,6 +136,12 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 			stage := labels["stage"]
 			stages[stage] = true
 			get(labels).idle[stage] = v
+		case "accel.crit_share":
+			hasExplain = true
+			get(labels).crit[labels["stage"]] = v
+		case "accel.bubble_ns":
+			hasExplain = true
+			get(labels).bubble[labels["class"]] = v
 		}
 	}
 	if len(rows) == 0 {
@@ -185,6 +195,11 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 	for _, s := range stageCols {
 		res.Header = append(res.Header, "idle "+s)
 	}
+	// Bottleneck columns appear only when the snapshot carries the
+	// explain series, so pre-explain BENCH files render unchanged.
+	if hasExplain {
+		res.Header = append(res.Header, "bottleneck", "crit %", "top bubble")
+	}
 	for _, r := range ordered {
 		upd := ""
 		if r.hasUpdateFrac {
@@ -204,10 +219,17 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 				row = append(row, "")
 			}
 		}
+		if hasExplain {
+			row = append(row, bottleneckCells(r)...)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	res.Notes = append(res.Notes,
 		"idle columns are per-stage idle fractions (paper Figs. 4/15); 'upd rows' is the steady-state fraction of vertex rows rewritten per epoch (ISU)")
+	if hasExplain {
+		res.Notes = append(res.Notes,
+			"bottleneck/crit % come from the critical-path analyzer (gopim explain); 'top bubble' is the largest idle class summed over stages")
+	}
 	if rowsTotal > 0 {
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"ISU write traffic during GCN training: %.0f of %.0f rows rewritten (%.1f%%)",
@@ -221,6 +243,36 @@ func Attribution(metrics []MetricValue) (*experiments.Result, error) {
 			faultyCells, writeRetries, retired, degraded))
 	}
 	return res, nil
+}
+
+// bottleneckCells renders a row's explain-derived columns: the stage
+// owning the largest critical-path share, that share, and the bubble
+// class holding the most idle time. Rows without the series (an older
+// snapshot mixed into a newer one) render blank cells.
+func bottleneckCells(r *attribRow) []string {
+	stage, share := maxEntry(r.crit)
+	class, _ := maxEntry(r.bubble)
+	if stage == "" && class == "" {
+		return []string{"", "", ""}
+	}
+	cells := []string{stage, "", class}
+	if stage != "" {
+		cells[1] = fmt.Sprintf("%.1f%%", share*100)
+	}
+	return cells
+}
+
+// maxEntry returns the key with the largest value, ties broken by key
+// order so output never depends on map iteration.
+func maxEntry(m map[string]float64) (string, float64) {
+	var bestK string
+	var bestV float64
+	for k, v := range m {
+		if bestK == "" || v > bestV || (v == bestV && k < bestK) {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
 }
 
 // AttributionConfig picks the configuration to attribute from a BENCH

@@ -149,3 +149,44 @@ func TestParseLabels(t *testing.T) {
 		t.Errorf("plain name = %q %v", base, labels)
 	}
 }
+
+// The explain series add bottleneck columns — and only when present,
+// so pre-explain snapshots keep their exact shape.
+func TestAttributionBottleneckColumns(t *testing.T) {
+	// Without the series: no bottleneck header.
+	res, err := Attribution(attribMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Header {
+		if h == "bottleneck" {
+			t.Fatalf("bottleneck column without explain series: %v", res.Header)
+		}
+	}
+
+	metrics := append(attribMetrics(),
+		sim("accel.crit_share{dataset=ddi,model=GoPIM,stage=CO1}", "max", "0.1"),
+		sim("accel.crit_share{dataset=ddi,model=GoPIM,stage=AG1}", "max", "0.9"),
+		sim("accel.bubble_ns{dataset=ddi,model=GoPIM,class=fill}", "max", "100"),
+		sim("accel.bubble_ns{dataset=ddi,model=GoPIM,class=starve}", "max", "900"),
+	)
+	res, err = Attribution(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"bottleneck", "crit %", "top bubble", "AG1", "90.0%", "starve"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bottleneck report missing %q:\n%s", want, out)
+		}
+	}
+	// The Serial row carried no explain series: blank cells, no panic.
+	last := res.Rows[0]
+	if got := last[len(last)-3:]; got[0] != "" || got[1] != "" || got[2] != "" {
+		t.Errorf("row without explain series must render blank: %v", got)
+	}
+}

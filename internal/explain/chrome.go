@@ -1,0 +1,75 @@
+package explain
+
+import (
+	"sort"
+
+	"gopim/internal/obs"
+	"gopim/internal/trace"
+)
+
+// ChromeTraceEvents renders the analyzed schedule for the trace
+// viewer: the schedule's replica lanes (as trace.Schedule emits them),
+// flow arrows linking the critical path's events, and one counter
+// track charting how many lanes sit in each bubble class over
+// simulated time.
+func (r *Result) ChromeTraceEvents(names []string) []obs.TraceEvent {
+	events := r.Schedule.ChromeTraceEvents(names)
+	chain := make([]trace.Event, len(r.Path))
+	for i, p := range r.Path {
+		chain[i] = trace.Event{
+			Stage: p.Stage, MicroBatch: p.MicroBatch, Replica: p.Replica,
+			StartNS: p.StartNS, EndNS: p.EndNS,
+		}
+	}
+	events = append(events, r.Schedule.FlowEvents(chain, "critical path")...)
+	events = append(events, trace.CounterEvents("bubbles", bubbleSamples(r.Bubbles))...)
+	return events
+}
+
+// bubbleSamples folds the bubble intervals into a step function: at
+// every interval boundary, the number of lanes currently idle in each
+// class. Every sample carries all four classes, so the counter track's
+// series set — and the JSON bytes — never depend on which classes
+// happen to be present.
+func bubbleSamples(bubbles []Bubble) []trace.CounterSample {
+	type edge struct {
+		ts    float64
+		class string
+		delta int
+	}
+	var edges []edge
+	for _, b := range bubbles {
+		lanes := b.Lanes
+		if lanes == 0 {
+			lanes = 1
+		}
+		edges = append(edges,
+			edge{b.StartNS, b.Class, lanes},
+			edge{b.EndNS, b.Class, -lanes})
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].ts != edges[j].ts {
+			return edges[i].ts < edges[j].ts
+		}
+		return edges[i].class < edges[j].class
+	})
+	open := map[string]int{}
+	var out []trace.CounterSample
+	for i, e := range edges {
+		open[e.class] += e.delta
+		// Emit one sample per distinct timestamp, after folding all of
+		// its edges.
+		if i+1 < len(edges) && edges[i+1].ts == e.ts {
+			continue
+		}
+		vals := make(map[string]float64, len(BubbleClasses))
+		for _, c := range BubbleClasses {
+			vals[c] = float64(open[c])
+		}
+		out = append(out, trace.CounterSample{TsNS: e.ts, Values: vals})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package explain_test
+
+import (
+	"math"
+	"testing"
+
+	"gopim/internal/accel"
+	"gopim/internal/explain"
+	"gopim/internal/graphgen"
+	"gopim/internal/trace"
+)
+
+// harnessInputs reproduces the schedule shapes of the fig4–7
+// experiment harnesses: the fig4 motivation accelerator runs (shrunk
+// datasets) across pipeline modes, and the fig5 worked replica
+// allocation cases.
+func harnessInputs(t *testing.T) map[string]trace.Input {
+	t.Helper()
+	inputs := map[string]trace.Input{
+		"fig5-a": {TimesNS: []float64{1, 6}, Replicas: []int{1, 1}, MicroBatches: 8},
+		"fig5-b": {TimesNS: []float64{1, 6}, Replicas: []int{2, 3}, MicroBatches: 8},
+		"fig5-c": {TimesNS: []float64{1, 6}, Replicas: []int{1, 4}, MicroBatches: 8},
+	}
+	datasets := graphgen.MotivationSix()
+	for i := range datasets {
+		if datasets[i].PaperVertices > 20_000 {
+			datasets[i].PaperVertices = 20_000
+		}
+	}
+	kinds := []accel.Kind{accel.Serial, accel.PlusPP, accel.SlimGNNLike,
+		accel.ReGraphX, accel.Pipelayer, accel.GoPIM}
+	for _, d := range datasets[:2] {
+		for _, k := range kinds {
+			r := accel.Run(k, accel.Workload{Dataset: d, Seed: 1})
+			inputs[d.Name+"/"+k.String()] = accel.TraceInput(r)
+		}
+	}
+	return inputs
+}
+
+// The tentpole invariant: the extracted path's event durations sum
+// exactly to the schedule's makespan. The chain's junctions are exact
+// by construction (each start is a bitwise copy of its predecessor's
+// end), the first event starts at 0 and the last ends at the makespan,
+// so the duration sum telescopes.
+func TestCriticalPathSumsToMakespan(t *testing.T) {
+	for name, in := range harnessInputs(t) {
+		res := explain.Analyze(in, nil, explain.Options{})
+		if len(res.Path) == 0 {
+			t.Fatalf("%s: empty path", name)
+		}
+		if res.Path[0].StartNS != 0 {
+			t.Fatalf("%s: path starts at %v, not 0", name, res.Path[0].StartNS)
+		}
+		last := res.Path[len(res.Path)-1]
+		if last.EndNS != res.MakespanNS {
+			t.Fatalf("%s: path ends at %v, makespan %v", name, last.EndNS, res.MakespanNS)
+		}
+		var sum float64
+		for k, p := range res.Path {
+			if k > 0 && p.StartNS != res.Path[k-1].EndNS {
+				t.Fatalf("%s: junction %d not exact: %v vs %v",
+					name, k, p.StartNS, res.Path[k-1].EndNS)
+			}
+			sum += p.EndNS - p.StartNS
+		}
+		if sum != res.MakespanNS {
+			t.Fatalf("%s: path durations sum to %v, makespan %v (diff %g)",
+				name, sum, res.MakespanNS, sum-res.MakespanNS)
+		}
+	}
+}
+
+// Every analysis over the harness inputs must keep its derived
+// quantities finite, in range, and self-consistent.
+func TestAnalysisInvariants(t *testing.T) {
+	for name, in := range harnessInputs(t) {
+		res := explain.Analyze(in, nil, explain.Options{})
+		var critSum float64
+		for i, s := range res.Stages {
+			for field, v := range map[string]float64{
+				"util": s.Utilization, "crit_share": s.CritShare,
+			} {
+				if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+					t.Fatalf("%s stage %d: %s = %v out of range", name, i, field, v)
+				}
+			}
+			idle := res.MakespanNS*float64(s.Replicas) - s.BusyNS
+			bubbles := s.FillNS + s.DrainNS + s.StarveNS + s.OccupancyNS
+			if math.Abs(bubbles-idle) > 1e-6*(1+math.Abs(idle)) {
+				t.Fatalf("%s stage %d: bubbles %v != idle %v", name, i, bubbles, idle)
+			}
+			critSum += s.CritNS
+		}
+		// The path partitions [0, makespan] across stages.
+		if math.Abs(critSum-res.MakespanNS) > 1e-9*(1+res.MakespanNS) {
+			t.Fatalf("%s: per-stage crit sums to %v, makespan %v", name, critSum, res.MakespanNS)
+		}
+		if res.Eq6NS <= 0 || res.MakespanNS < res.Eq6NS-1e-6*res.Eq6NS {
+			t.Fatalf("%s: makespan %v below eq.(6) bound %v", name, res.MakespanNS, res.Eq6NS)
+		}
+		if res.Bottleneck == "" {
+			t.Fatalf("%s: no bottleneck named", name)
+		}
+	}
+}

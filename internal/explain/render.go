@@ -1,0 +1,78 @@
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes the full analysis as indented JSON. encoding/json
+// over tagged structs and ordered slices: bytes are a deterministic
+// function of the result.
+func (r *Result) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Summary returns the headline lines of the analysis, one fact each.
+func (r *Result) Summary() []string {
+	lines := []string{
+		fmt.Sprintf("makespan: %.4g ns over %d micro-batches", r.MakespanNS, r.MicroBatches),
+		fmt.Sprintf("eq.(6) closed form: %.4g ns (gap %.4g ns, %.2f%%)",
+			r.Eq6NS, r.Eq6GapNS, r.Eq6GapFrac*100),
+		fmt.Sprintf("bottleneck: %s (%.1f%% of the critical path's time)",
+			r.Bottleneck, r.bottleneckShare()*100),
+		fmt.Sprintf("critical path: %d events (%d data-dep, %d occupancy, %d barrier)",
+			len(r.Path), r.PathReasons.DataDep, r.PathReasons.Occupancy, r.PathReasons.Barrier),
+	}
+	return lines
+}
+
+func (r *Result) bottleneckShare() float64 {
+	if len(r.Stages) == 0 {
+		return 0
+	}
+	return r.Stages[r.BottleneckStage].CritShare
+}
+
+// StageTable returns the per-stage analysis in the experiments render
+// conventions (header + string rows + notes). The CLI wraps it in an
+// experiments.Result; this package returns plain data instead because
+// importing experiments from here would cycle through accel.
+func (r *Result) StageTable() (header []string, rows [][]string, notes []string) {
+	header = []string{"stage", "replicas", "t (ns)", "util %", "crit %",
+		"slack rank", "fill (ns)", "drain (ns)", "starve (ns)", "occupancy (ns)"}
+	if r.Sensitivity {
+		header = append(header, "Δ +1 rep (ns)", "Δ −1 rep (ns)")
+	}
+	for _, s := range r.Stages {
+		row := []string{
+			s.Name,
+			fmt.Sprintf("%d", s.Replicas),
+			fmt.Sprintf("%.4g", s.TimeNS),
+			fmt.Sprintf("%.1f", s.Utilization*100),
+			fmt.Sprintf("%.1f", s.CritShare*100),
+			fmt.Sprintf("%d", s.SlackRank),
+			fmt.Sprintf("%.4g", s.FillNS),
+			fmt.Sprintf("%.4g", s.DrainNS),
+			fmt.Sprintf("%.4g", s.StarveNS),
+			fmt.Sprintf("%.4g", s.OccupancyNS),
+		}
+		if r.Sensitivity {
+			minus := "n/a"
+			if s.Replicas > 1 {
+				minus = fmt.Sprintf("%+.4g", s.DeltaMinusNS)
+			}
+			row = append(row, fmt.Sprintf("%+.4g", s.DeltaPlusNS), minus)
+		}
+		rows = append(rows, row)
+	}
+	notes = append(r.Summary(),
+		"crit % = share of the makespan this stage spends on the critical path; slack rank 1 = bottleneck",
+		"bubble columns sum (with busy time) to makespan x replicas per stage")
+	return header, rows, notes
+}

@@ -18,21 +18,31 @@ const (
 // chrome://tracing and Perfetto (ui.perfetto.dev). Timestamps and
 // durations are in microseconds, per the format.
 type TraceEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	// ID pairs flow-event starts ("s") with their finishes ("f");
+	// Bp "e" binds a flow finish to the enclosing slice rather than the
+	// next one. Both omit when empty, so every pre-flow-event trace
+	// keeps its exact bytes.
+	ID string `json:"id,omitempty"`
+	Bp string `json:"bp,omitempty"`
+	// Args values are strings for metadata events and numbers for
+	// counter ("C") samples — the viewer charts numeric args. The any
+	// type covers both; encoding/json still sorts the keys, so bytes
+	// stay deterministic.
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // processNameEvent returns the metadata event naming a trace process.
 func processNameEvent(pid int, name string) TraceEvent {
 	return TraceEvent{
 		Name: "process_name", Ph: "M", Pid: pid,
-		Args: map[string]string{"name": name},
+		Args: map[string]any{"name": name},
 	}
 }
 
@@ -40,7 +50,7 @@ func processNameEvent(pid int, name string) TraceEvent {
 func ThreadNameEvent(pid, tid int, name string) TraceEvent {
 	return TraceEvent{
 		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
-		Args: map[string]string{"name": name},
+		Args: map[string]any{"name": name},
 	}
 }
 

@@ -38,11 +38,17 @@ type Manifest struct {
 	// recorded only when a fault model is active: a default run's
 	// manifest must stay byte-stable across the fault feature's
 	// introduction, so all three omit when empty.
-	FaultRate      float64   `json:"fault_rate,omitempty"`
-	FaultSeed      int64     `json:"fault_seed,omitempty"`
-	FaultVerifyMax int       `json:"fault_verify_max,omitempty"`
-	StartedAt      time.Time `json:"started_at"`
-	WallMS         float64   `json:"wall_ms"`
+	FaultRate      float64 `json:"fault_rate,omitempty"`
+	FaultSeed      int64   `json:"fault_seed,omitempty"`
+	FaultVerifyMax int     `json:"fault_verify_max,omitempty"`
+	// Critical-path headline figures (`gopim explain`), recorded only
+	// when an explain analysis ran this invocation — same omitempty
+	// byte-stability contract as the fault keys.
+	ExplainBottleneck string    `json:"explain_bottleneck,omitempty"`
+	ExplainCritShare  float64   `json:"explain_crit_share,omitempty"`
+	ExplainEq6GapFrac float64   `json:"explain_eq6_gap_frac,omitempty"`
+	StartedAt         time.Time `json:"started_at"`
+	WallMS            float64   `json:"wall_ms"`
 	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish
 	// runs: live heap bytes and cumulative GC cycles for the process.
 	// Wall-side provenance, like WallMS — never part of Sim diffs.

@@ -47,6 +47,7 @@ var stageColors = map[string]string{
 	"admission":         "#e0af68",
 	"workspace_acquire": "#f7768e",
 	"plan":              "#9ece6a",
+	"explain":           "#ff9e64",
 	"simulate":          "#2ac3de",
 	"marshal":           "#bb9af7",
 }
@@ -150,6 +151,7 @@ th { color: #565f89; font-weight: normal; border-bottom: 1px solid #2f3549; }
   <span><i class="swatch" style="background:#e0af68"></i>admission</span>
   <span><i class="swatch" style="background:#f7768e"></i>workspace_acquire</span>
   <span><i class="swatch" style="background:#9ece6a"></i>plan</span>
+  <span><i class="swatch" style="background:#ff9e64"></i>explain</span>
   <span><i class="swatch" style="background:#2ac3de"></i>simulate</span>
   <span><i class="swatch" style="background:#bb9af7"></i>marshal</span>
 </div>

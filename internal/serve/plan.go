@@ -7,11 +7,13 @@ import (
 	"gopim/internal/accel"
 	"gopim/internal/alloc"
 	"gopim/internal/experiments"
+	"gopim/internal/explain"
 	"gopim/internal/graphgen"
 	"gopim/internal/mapping"
 	"gopim/internal/pipeline"
 	"gopim/internal/reram"
 	"gopim/internal/stage"
+	"gopim/internal/trace"
 )
 
 // Request-size guards: a planning query must stay a small deterministic
@@ -77,6 +79,13 @@ type PlanRequest struct {
 	// Simulate adds a what-if accelerator simulation of Model to the
 	// response (makespan, energy, crossbars, update traffic).
 	Simulate bool `json:"simulate,omitempty"`
+	// Explain adds a critical-path analysis of the planned schedule to
+	// the response: bottleneck stage, eq.(6) gap, per-stage bubble
+	// attribution and ±1-replica sensitivity. The analysis re-simulates
+	// at event granularity over a window of at most ExplainWindow
+	// micro-batches (steady state needs far fewer); the block is part
+	// of the cached body, so it is byte-identical at any worker count.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // planKey is the normalized, comparable form of a PlanRequest — the
@@ -93,6 +102,7 @@ type planKey struct {
 	usePred     bool
 	fullProfile bool
 	simulate    bool
+	explain     bool
 }
 
 // badRequestError marks a client-side validation failure (HTTP 400).
@@ -211,7 +221,17 @@ func normalize(req PlanRequest) (planKey, error) {
 	}
 	k.usePred = req.UsePredictor
 	k.simulate = req.Simulate
+	k.explain = req.Explain
 	return k, nil
+}
+
+// stageNames projects the built stages' display names.
+func stageNames(stages []stage.Stage) []string {
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // dataset materialises the workload the key describes.
@@ -260,6 +280,50 @@ type SimSummary struct {
 	AvgIdleFrac    float64 `json:"avg_idle_frac"`
 }
 
+// ExplainWindow caps how many micro-batches the explain analysis
+// re-simulates at event granularity. Pipelines reach steady state
+// within a few multiples of the stage count; a window this size keeps
+// the analysis bounded while the fill/steady/drain structure — and so
+// the bottleneck and gap figures — is fully represented.
+const ExplainWindow = 256
+
+// ExplainStage is one stage's row of the explain block.
+type ExplainStage struct {
+	Name        string  `json:"name"`
+	Replicas    int     `json:"replicas"`
+	Utilization float64 `json:"utilization"`
+	// CritShare is the fraction of the window's makespan this stage
+	// spends on the critical path; SlackRank orders stages by it
+	// (1 = bottleneck).
+	CritShare float64 `json:"crit_share"`
+	SlackRank int     `json:"slack_rank"`
+	// Idle attribution by bubble class (ns over the analyzed window).
+	FillNS      float64 `json:"fill_ns"`
+	DrainNS     float64 `json:"drain_ns"`
+	StarveNS    float64 `json:"starve_ns"`
+	OccupancyNS float64 `json:"occupancy_ns"`
+	// Makespan deltas from ±1 replica of this stage over the window.
+	DeltaPlusNS  float64 `json:"delta_plus_ns"`
+	DeltaMinusNS float64 `json:"delta_minus_ns"`
+}
+
+// ExplainBlock is the opt-in critical-path analysis of the plan.
+type ExplainBlock struct {
+	// WindowMicroBatches is how many micro-batches were analyzed
+	// (min(micro_batches, ExplainWindow)).
+	WindowMicroBatches int            `json:"window_micro_batches"`
+	MakespanNS         float64        `json:"makespan_ns"`
+	Eq6NS              float64        `json:"eq6_ns"`
+	Eq6GapNS           float64        `json:"eq6_gap_ns"`
+	Eq6GapFrac         float64        `json:"eq6_gap_frac"`
+	Bottleneck         string         `json:"bottleneck"`
+	PathEvents         int            `json:"path_events"`
+	PathDataDep        int            `json:"path_data_dep"`
+	PathOccupancy      int            `json:"path_occupancy"`
+	PathBarrier        int            `json:"path_barrier"`
+	Stages             []ExplainStage `json:"stages"`
+}
+
 // PlanResponse answers a PlanRequest. Identical requests produce
 // byte-identical serialisations of this struct — the determinism
 // contract the handler tests pin.
@@ -283,6 +347,10 @@ type PlanResponse struct {
 	ScheduledMakespanNS float64     `json:"scheduled_makespan_ns"`
 	Stages              []StagePlan `json:"stages"`
 	Simulation          *SimSummary `json:"simulation,omitempty"`
+	// Explain is the opt-in critical-path analysis (request
+	// "explain": true); omitted otherwise so pre-existing response
+	// bodies keep their exact bytes.
+	Explain *ExplainBlock `json:"explain,omitempty"`
 }
 
 // computePlan answers one normalized planning query. It is a pure
@@ -389,6 +457,48 @@ func computePlanStaged(k planKey, begin func(name string) func()) *PlanResponse 
 		})
 	}
 	endPlan()
+
+	if k.explain {
+		endExplain := begin("explain")
+		window := numMB
+		if window > ExplainWindow {
+			window = ExplainWindow
+		}
+		ex := explain.Analyze(trace.Input{
+			TimesNS:      req.TimesNS, // true times, as scheduled
+			Replicas:     res.Replicas,
+			MicroBatches: window,
+		}, stageNames(stages), explain.Options{Sensitivity: true})
+		block := &ExplainBlock{
+			WindowMicroBatches: window,
+			MakespanNS:         ex.MakespanNS,
+			Eq6NS:              ex.Eq6NS,
+			Eq6GapNS:           ex.Eq6GapNS,
+			Eq6GapFrac:         ex.Eq6GapFrac,
+			Bottleneck:         ex.Bottleneck,
+			PathEvents:         len(ex.Path),
+			PathDataDep:        ex.PathReasons.DataDep,
+			PathOccupancy:      ex.PathReasons.Occupancy,
+			PathBarrier:        ex.PathReasons.Barrier,
+		}
+		for _, s := range ex.Stages {
+			block.Stages = append(block.Stages, ExplainStage{
+				Name:         s.Name,
+				Replicas:     s.Replicas,
+				Utilization:  s.Utilization,
+				CritShare:    s.CritShare,
+				SlackRank:    s.SlackRank,
+				FillNS:       s.FillNS,
+				DrainNS:      s.DrainNS,
+				StarveNS:     s.StarveNS,
+				OccupancyNS:  s.OccupancyNS,
+				DeltaPlusNS:  s.DeltaPlusNS,
+				DeltaMinusNS: s.DeltaMinusNS,
+			})
+		}
+		resp.Explain = block
+		endExplain()
+	}
 
 	if k.simulate {
 		endSim := begin("simulate")

@@ -55,6 +55,8 @@ var goldenRequests = []struct {
 	{"collab_theta_simulate", `{"dataset":"collab","theta":0.6,"simulate":true,"model":"GoPIM"}`},
 	{"custom_graph", `{"graph":{"name":"social","vertices":50000,"avg_degree":12,"feature_dim":64},"seed":7}`},
 	{"serial_whatif", `{"dataset":"Cora","model":"Serial","simulate":true}`},
+	{"ddi_explain", `{"dataset":"ddi","explain":true}`},
+	{"collab_explain_simulate", `{"dataset":"collab","simulate":true,"explain":true}`},
 }
 
 // TestPlanGoldenResponses pins the exact JSON bodies for the
@@ -235,6 +237,7 @@ func TestConcurrentLoadDeterministic(t *testing.T) {
 		`{"dataset":"Cora","simulate":true}`,
 		`{"dataset":"ddi","micro_batch":32}`,
 		`{"graph":{"vertices":20000,"avg_degree":8,"feature_dim":32},"seed":3}`,
+		`{"dataset":"ddi","explain":true}`,
 	}
 	canonical := make([][]byte, len(reqs))
 

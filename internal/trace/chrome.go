@@ -65,3 +65,65 @@ func (s *Schedule) ChromeTraceEvents(names []string) []obs.TraceEvent {
 func (s *Schedule) WriteChromeTrace(w io.Writer, names []string) error {
 	return obs.WriteTraceJSON(w, s.ChromeTraceEvents(names))
 }
+
+// laneBases returns the first viewer lane (tid) of each stage and the
+// total lane count, matching the stacking ChromeTraceEvents uses.
+func (s *Schedule) laneBases() ([]int, int) {
+	base := make([]int, len(s.Replicas))
+	lanes := 0
+	for i, r := range s.Replicas {
+		base[i] = lanes
+		lanes += r
+	}
+	return base, lanes
+}
+
+// FlowEvents renders an event chain (in schedule order, e.g. the
+// explain critical path) as Chrome flow arrows: one "s"/"f" pair per
+// consecutive pair of events, drawn from the predecessor's end to the
+// successor's start on the same lanes ChromeTraceEvents emits. The
+// finish binds to the enclosing slice (bp "e"), so arrows land on the
+// successor event itself.
+func (s *Schedule) FlowEvents(chain []Event, name string) []obs.TraceEvent {
+	base, _ := s.laneBases()
+	out := make([]obs.TraceEvent, 0, 2*len(chain))
+	for k := 0; k+1 < len(chain); k++ {
+		a, b := chain[k], chain[k+1]
+		id := fmt.Sprintf("%s-%d", name, k+1)
+		out = append(out, obs.TraceEvent{
+			Name: name, Cat: "sim", Ph: "s", ID: id,
+			Ts: a.EndNS / 1e3, Pid: obs.SimPid, Tid: base[a.Stage] + a.Replica,
+		}, obs.TraceEvent{
+			Name: name, Cat: "sim", Ph: "f", Bp: "e", ID: id,
+			Ts: b.StartNS / 1e3, Pid: obs.SimPid, Tid: base[b.Stage] + b.Replica,
+		})
+	}
+	return out
+}
+
+// CounterSample is one point of a simulated-time counter track: the
+// per-series values at one instant.
+type CounterSample struct {
+	TsNS   float64
+	Values map[string]float64
+}
+
+// CounterEvents renders samples as one Chrome counter track (ph "C")
+// on the simulated-time process; the viewer draws each Values key as a
+// stacked series. Callers must pass samples in ascending time order
+// with a fixed key set for deterministic bytes (encoding/json sorts
+// the keys of each sample).
+func CounterEvents(name string, samples []CounterSample) []obs.TraceEvent {
+	out := make([]obs.TraceEvent, 0, len(samples))
+	for _, smp := range samples {
+		args := make(map[string]any, len(smp.Values))
+		for k, v := range smp.Values {
+			args[k] = v
+		}
+		out = append(out, obs.TraceEvent{
+			Name: name, Cat: "sim", Ph: "C",
+			Ts: smp.TsNS / 1e3, Pid: obs.SimPid, Args: args,
+		})
+	}
+	return out
+}

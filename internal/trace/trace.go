@@ -15,7 +15,9 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"gopim/internal/obs"
@@ -41,6 +43,10 @@ type Event struct {
 }
 
 // Schedule is a complete simulated execution.
+//
+// Events are appended micro-batch-major, stage-minor: the event for
+// (stage i, micro-batch j) sits at index j·len(TimesNS)+i. The explain
+// analyzer indexes events by this contract.
 type Schedule struct {
 	Events     []Event
 	MakespanNS float64
@@ -59,16 +65,43 @@ type Input struct {
 	Replicas []int
 	// MicroBatches is the number of micro-batches to run.
 	MicroBatches int
+	// MicroBatchesPerBatch, when positive, inserts a full-completion
+	// barrier every that many micro-batches — the intra-batch pipeline
+	// semantics of pipeline.IntraBatch (weight updates barrier the
+	// pipeline between batches). 1 reproduces strictly serial
+	// micro-batch execution; 0 (the default) pipelines across batch
+	// boundaries with no barrier.
+	MicroBatchesPerBatch int
 }
 
-// Simulate runs the event-level schedule.
+// Simulate runs the event-level schedule and records the trace metrics.
 func Simulate(in Input) *Schedule {
+	sched := simulate(in)
+	mSimulations.Inc()
+	mEvents.Add(int64(len(sched.Events)))
+	mMakespan.Observe(sched.MakespanNS)
+	return sched
+}
+
+// SimulateUnrecorded runs the same schedule without touching the trace
+// metrics. Analysis layers (critical-path extraction, ±1-replica
+// what-if perturbations) re-simulate schedules many times per
+// user-visible run; routing those through the unrecorded path keeps
+// trace.simulations counting only the schedules the user asked for, so
+// existing Sim snapshots stay comparable across the explain feature's
+// introduction.
+func SimulateUnrecorded(in Input) *Schedule { return simulate(in) }
+
+func simulate(in Input) *Schedule {
 	n := len(in.TimesNS)
 	if n == 0 {
 		panic("trace: no stages")
 	}
 	if in.MicroBatches < 1 {
 		panic(fmt.Sprintf("trace: %d micro-batches", in.MicroBatches))
+	}
+	if in.MicroBatchesPerBatch < 0 {
+		panic(fmt.Sprintf("trace: %d micro-batches per batch", in.MicroBatchesPerBatch))
 	}
 	replicas := in.Replicas
 	if replicas == nil {
@@ -81,8 +114,11 @@ func Simulate(in Input) *Schedule {
 		panic(fmt.Sprintf("trace: %d replica counts for %d stages", len(replicas), n))
 	}
 	for i, t := range in.TimesNS {
-		if t < 0 {
-			panic(fmt.Sprintf("trace: stage %d time %v negative", i, t))
+		// NaN/Inf must fail here, at the boundary: every downstream
+		// consumer (StageUtilization, the explain analyzer, the Sim
+		// metric observations) assumes finite event times.
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			panic(fmt.Sprintf("trace: stage %d time %v must be finite and non-negative", i, t))
 		}
 		if replicas[i] < 1 {
 			panic(fmt.Sprintf("trace: stage %d has %d replicas", i, replicas[i]))
@@ -102,8 +138,20 @@ func Simulate(in Input) *Schedule {
 		StageBusyNS: make([]float64, n),
 		Replicas:    append([]int(nil), replicas...),
 	}
+	// barrier is the start-of-batch bound: with MicroBatchesPerBatch
+	// set, no micro-batch of batch b starts before every event of batch
+	// b−1 finished. The bound propagates through the stage-order chain,
+	// so applying it to the first stage's ready time is exact.
+	barrier := 0.0
 	for j := 0; j < in.MicroBatches; j++ {
-		ready := 0.0 // end of previous stage for this micro-batch
+		if per := in.MicroBatchesPerBatch; per > 0 && j > 0 && j%per == 0 {
+			for i := range done {
+				if done[i] > barrier {
+					barrier = done[i]
+				}
+			}
+		}
+		ready := barrier // end of previous stage for this micro-batch
 		for i := 0; i < n; i++ {
 			// Earliest-free replica.
 			k := 0
@@ -134,15 +182,14 @@ func Simulate(in Input) *Schedule {
 			}
 		}
 	}
-	mSimulations.Inc()
-	mEvents.Add(int64(len(sched.Events)))
-	mMakespan.Observe(sched.MakespanNS)
 	return sched
 }
 
 // StageUtilization returns, per stage, busy time divided by
 // (makespan × replicas) — the exact counterpart of the paper's idle
-// percentages at replica granularity.
+// percentages at replica granularity. Zero-makespan (and empty)
+// schedules report zero utilisation everywhere: the guard keeps
+// NaN/Inf out of every downstream Sim metric.
 func (s *Schedule) StageUtilization() []float64 {
 	out := make([]float64, len(s.StageBusyNS))
 	for i, busy := range s.StageBusyNS {
@@ -167,9 +214,18 @@ func (s *Schedule) EventsForStage(stage int) []Event {
 }
 
 // RenderGantt writes a text Gantt chart with the given number of time
-// columns. Each row is one stage; cell characters are the micro-batch
-// index mod 10 (blank = idle across all replicas).
+// columns: a time-axis ruler row, one row per stage whose cell
+// characters are the micro-batch index mod 10 (blank = idle across all
+// replicas), and a per-stage utilisation gutter column.
 func (s *Schedule) RenderGantt(w io.Writer, columns int, names []string) error {
+	return s.RenderGanttMarked(w, columns, names, nil)
+}
+
+// RenderGanttMarked is RenderGantt with critical-path marking: events
+// for which marked returns true render as '*' instead of their
+// micro-batch digit, so the chain of events that sums to the makespan
+// stands out from the pipelined bulk. A nil predicate marks nothing.
+func (s *Schedule) RenderGanttMarked(w io.Writer, columns int, names []string, marked func(Event) bool) error {
 	if columns < 1 {
 		columns = 60
 	}
@@ -178,7 +234,9 @@ func (s *Schedule) RenderGantt(w io.Writer, columns int, names []string) error {
 		return err
 	}
 	scale := float64(columns) / s.MakespanNS
+	util := s.StageUtilization()
 	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s |%s|  util\n", "t(ns)", ruler(s.MakespanNS, columns))
 	for i := range s.StageBusyNS {
 		name := fmt.Sprintf("stage %d", i)
 		if names != nil && i < len(names) {
@@ -202,12 +260,33 @@ func (s *Schedule) RenderGantt(w io.Writer, columns int, names []string) error {
 				lo = columns - 1
 			}
 			ch := byte('0' + e.MicroBatch%10)
+			if marked != nil && marked(e) {
+				ch = '*'
+			}
 			for c := lo; c <= hi; c++ {
 				row[c] = ch
 			}
 		}
-		fmt.Fprintf(&b, "%-6s |%s|\n", name, row)
+		fmt.Fprintf(&b, "%-6s |%s| %5.1f%%\n", name, row, util[i]*100)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// ruler renders the time axis: tick labels at 0, ¼, ½ and ¾ of the
+// makespan (the right edge IS the makespan, so the last quarter stays
+// readable without a clipped label).
+func ruler(makespanNS float64, columns int) string {
+	row := make([]byte, columns)
+	for c := range row {
+		row[c] = ' '
+	}
+	for _, f := range []float64{0, 0.25, 0.5, 0.75} {
+		at := int(f * float64(columns))
+		label := strconv.FormatFloat(makespanNS*f, 'g', 3, 64)
+		for k := 0; k < len(label) && at+k < columns; k++ {
+			row[at+k] = label[k]
+		}
+	}
+	return string(row)
 }

@@ -178,10 +178,11 @@ func TestRenderGanttZeroDurationStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("rows = %d, want 2:\n%s", len(lines), buf.String())
+	// Ruler row + two stage rows.
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), buf.String())
 	}
-	if !strings.Contains(lines[1], "0") {
+	if !strings.Contains(lines[2], "0") {
 		t.Fatalf("zero-duration stage invisible in gantt:\n%s", buf.String())
 	}
 	// Multi-batch variant must also render without panicking.
@@ -242,6 +243,11 @@ func TestValidation(t *testing.T) {
 		func() { Simulate(Input{TimesNS: []float64{-1}, MicroBatches: 1}) },
 		func() { Simulate(Input{TimesNS: []float64{1}, Replicas: []int{0}, MicroBatches: 1}) },
 		func() { Simulate(Input{TimesNS: []float64{1}, Replicas: []int{1, 1}, MicroBatches: 1}) },
+		// Non-finite times must fail at the boundary, before they can
+		// poison a Sim metric with NaN/Inf.
+		func() { Simulate(Input{TimesNS: []float64{math.NaN()}, MicroBatches: 1}) },
+		func() { Simulate(Input{TimesNS: []float64{1, math.Inf(1)}, MicroBatches: 1}) },
+		func() { Simulate(Input{TimesNS: []float64{1}, MicroBatches: 1, MicroBatchesPerBatch: -1}) },
 	}
 	for i, f := range cases {
 		func() {
@@ -252,5 +258,114 @@ func TestValidation(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// The ruler row and utilisation gutter frame every chart.
+func TestRenderGanttRulerAndUtil(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{2, 4}, Replicas: []int{1, 2}, MicroBatches: 4})
+	var buf bytes.Buffer
+	if err := s.RenderGantt(&buf, 40, []string{"CO", "AG"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want ruler + 2 stages:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "t(ns)") || !strings.Contains(lines[0], "util") {
+		t.Fatalf("missing ruler row:\n%s", buf.String())
+	}
+	// Tick labels at 0 and midpoint of the makespan.
+	if !strings.Contains(lines[0], "0") {
+		t.Fatalf("ruler missing origin tick:\n%s", buf.String())
+	}
+	for _, ln := range lines[1:] {
+		if !strings.HasSuffix(ln, "%") {
+			t.Fatalf("stage row missing utilisation gutter: %q", ln)
+		}
+	}
+}
+
+// Marked events render as '*' so the critical path stands out.
+func TestRenderGanttMarked(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{2, 4}, MicroBatches: 3})
+	var buf bytes.Buffer
+	err := s.RenderGanttMarked(&buf, 30, nil, func(e Event) bool {
+		return e.Stage == 1 // whole bottleneck row on-path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Contains(lines[1], "*") {
+		t.Fatalf("unmarked stage shows marks:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], "*") {
+		t.Fatalf("marked stage shows no marks:\n%s", buf.String())
+	}
+}
+
+// MicroBatchesPerBatch must reproduce the closed-form pipeline model's
+// batch-barrier semantics exactly (single replica, integer times, so
+// float arithmetic is exact).
+func TestBarrierMatchesPipelineIntraBatch(t *testing.T) {
+	times := []float64{3, 5, 2}
+	for _, per := range []int{1, 3, 4, 8} {
+		tr := Simulate(Input{TimesNS: times, MicroBatches: 8, MicroBatchesPerBatch: per})
+		cf := pipeline.Simulate(pipeline.Input{
+			TimesNS: times, MicroBatches: 8, MicroBatchesPerBatch: per,
+			Mode: pipeline.IntraBatch,
+		})
+		if tr.MakespanNS != cf.MakespanNS {
+			t.Fatalf("per=%d: trace %v != pipeline %v", per, tr.MakespanNS, cf.MakespanNS)
+		}
+	}
+	// per=1 is strictly serial: B × Σtᵢ.
+	tr := Simulate(Input{TimesNS: times, MicroBatches: 5, MicroBatchesPerBatch: 1})
+	if tr.MakespanNS != 5*(3+5+2) {
+		t.Fatalf("per=1 makespan = %v, want serial 50", tr.MakespanNS)
+	}
+}
+
+// SimulateUnrecorded must leave the trace Sim counters untouched, so
+// explain re-simulations can't drift existing snapshots.
+func TestSimulateUnrecorded(t *testing.T) {
+	in := Input{TimesNS: []float64{2, 3}, MicroBatches: 4}
+	sims, evs, mk := mSimulations.Value(), mEvents.Value(), mMakespan.Count()
+	a := SimulateUnrecorded(in)
+	if mSimulations.Value() != sims || mEvents.Value() != evs || mMakespan.Count() != mk {
+		t.Fatal("SimulateUnrecorded touched trace metrics")
+	}
+	b := Simulate(in)
+	if mSimulations.Value() != sims+1 {
+		t.Fatal("Simulate no longer records")
+	}
+	if a.MakespanNS != b.MakespanNS || len(a.Events) != len(b.Events) {
+		t.Fatal("recorded and unrecorded schedules disagree")
+	}
+}
+
+func TestFlowAndCounterEvents(t *testing.T) {
+	s := Simulate(Input{TimesNS: []float64{2000, 4000}, Replicas: []int{1, 2}, MicroBatches: 3})
+	chain := []Event{s.Events[0], s.Events[1], s.Events[3]}
+	flows := s.FlowEvents(chain, "crit")
+	if len(flows) != 4 {
+		t.Fatalf("flow events = %d, want 2 pairs", len(flows))
+	}
+	if flows[0].Ph != "s" || flows[1].Ph != "f" || flows[1].Bp != "e" {
+		t.Fatalf("bad flow phases: %+v", flows[:2])
+	}
+	if flows[0].ID != flows[1].ID || flows[0].ID == flows[2].ID {
+		t.Fatalf("flow ids must pair per arrow: %+v", flows)
+	}
+	ctr := CounterEvents("bubbles", []CounterSample{
+		{TsNS: 0, Values: map[string]float64{"fill": 1, "starve": 0}},
+		{TsNS: 2000, Values: map[string]float64{"fill": 0, "starve": 2}},
+	})
+	if len(ctr) != 2 || ctr[0].Ph != "C" || ctr[0].Pid != 2 {
+		t.Fatalf("bad counter events: %+v", ctr)
+	}
+	if v, ok := ctr[1].Args["starve"].(float64); !ok || v != 2 {
+		t.Fatalf("counter args must be numeric: %+v", ctr[1].Args)
 	}
 }
