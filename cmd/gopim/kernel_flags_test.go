@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gopim/internal/obs"
+	"gopim/internal/simmemo"
+	"gopim/internal/spmm"
+)
+
+// The -spmm and -sim-memo knobs follow the GOPIM_WORKERS convention:
+// invalid values warn and fall back (auto / on) instead of dying, and
+// the sanitised result is what reaches the process-wide state.
+func TestKernelFlagFallbacks(t *testing.T) {
+	var warnings bytes.Buffer
+	restore := obs.SetWarnOutput(&warnings)
+	defer restore()
+	defer spmm.SetForced(spmm.Auto)
+	defer simmemo.SetEnabled(true)
+	t.Setenv(spmm.EnvVar, "")
+	t.Setenv(simmemo.EnvVar, "")
+
+	spmm.Configure("bukceted") // typo'd strategy: stays auto
+	if spmm.Forced() != spmm.Auto {
+		t.Fatalf("typo'd -spmm must keep auto, got %v", spmm.Forced())
+	}
+	simmemo.Configure("offf") // typo'd switch: stays on
+	if !simmemo.Enabled() {
+		t.Fatal("typo'd -sim-memo must keep the memo on")
+	}
+	if warnings.Len() == 0 {
+		t.Fatal("invalid kernel knobs must hit the warn path")
+	}
+
+	spmm.Configure("edge")
+	simmemo.Configure("off")
+	if spmm.Forced() != spmm.Edge || simmemo.Enabled() {
+		t.Fatalf("valid knobs must apply: spmm=%v memo=%v", spmm.Forced(), simmemo.Enabled())
+	}
+}
+
+// setKernelInfo records the autotuner provenance in the run manifest —
+// forced strategy and memo state only when off the defaults, per-graph
+// choices whenever any were resolved — so default-run manifests keep
+// their shape.
+func TestManifestKernelFields(t *testing.T) {
+	resetObs(t)
+	defer spmm.SetForced(spmm.Auto)
+	defer simmemo.SetEnabled(true)
+	defer spmm.ResetChoices()
+	dir := t.TempDir()
+	runSession := func() *obs.Manifest {
+		s, err := startObsSession(obsFlags{
+			metricsPath: filepath.Join(dir, "m.txt"),
+		}, []string{"all"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.setRunInfo(1, 0, "text", true)
+		if err := s.finish(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "m.manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := new(obs.Manifest)
+		if err := json.Unmarshal(data, m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Defaults: none of the kernel keys appear.
+	spmm.SetForced(spmm.Auto)
+	simmemo.SetEnabled(true)
+	spmm.ResetChoices()
+	m := runSession()
+	if m.SpMMStrategy != "" || m.SpMMChoices != nil || m.SimMemo != "" {
+		t.Fatalf("default manifest must omit kernel fields, got strategy=%q choices=%v memo=%q",
+			m.SpMMStrategy, m.SpMMChoices, m.SimMemo)
+	}
+
+	// Forced strategy + memo off + a resolved choice all surface.
+	spmm.SetForced(spmm.Bucketed)
+	simmemo.SetEnabled(false)
+	spmm.Record("ddi/v300", spmm.Bucketed)
+	m = runSession()
+	if m.SpMMStrategy != "bucketed" {
+		t.Fatalf("manifest strategy = %q, want bucketed", m.SpMMStrategy)
+	}
+	if m.SimMemo != "off" {
+		t.Fatalf("manifest sim_memo = %q, want off", m.SimMemo)
+	}
+	if m.SpMMChoices["ddi/v300"] != "bucketed" {
+		t.Fatalf("manifest choices = %v", m.SpMMChoices)
+	}
+}

@@ -30,6 +30,13 @@
 //	-workers N   worker-pool size for parallel kernels and the
 //	             experiment fan-out (default: GOPIM_WORKERS env, else
 //	             GOMAXPROCS); output is identical at any worker count
+//	-spmm s      SpMM strategy: auto (per-graph selector), row, blocked,
+//	             bucketed or edge (default: GOPIM_SPMM env, else auto);
+//	             every strategy is bitwise-equal, so this is purely a
+//	             performance knob
+//	-sim-memo v  on/off for the sweep-memoization layer (default:
+//	             GOPIM_SIM_MEMO env, else on); off recomputes every
+//	             sweep cell, matching pre-memo behaviour exactly
 //
 // Fault-injection flags (see DESIGN.md §Fault model; all off by
 // default — a run without them is byte-identical to one before the
@@ -64,6 +71,8 @@ import (
 	"gopim/internal/fault"
 	"gopim/internal/gcn"
 	"gopim/internal/mapping"
+	"gopim/internal/simmemo"
+	"gopim/internal/spmm"
 	"gopim/internal/trace"
 	"gopim/internal/tuner"
 )
@@ -73,6 +82,8 @@ func main() {
 	fast := flag.Bool("fast", false, "shrink workloads for a quick smoke run")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOPIM_WORKERS env, else GOMAXPROCS)")
+	spmmFlag := flag.String("spmm", "", "SpMM strategy: auto|row|blocked|bucketed|edge (default: GOPIM_SPMM env, else auto)")
+	simMemo := flag.String("sim-memo", "", "sweep-memoization layer: on|off (default: GOPIM_SIM_MEMO env, else on)")
 	faultRate := flag.Float64("fault-rate", 0, "stuck-at cell fault probability in [0,1] (0 = faults off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault streams")
 	faultVerifyMax := flag.Int("fault-verify-max", fault.DefaultVerifyMax, "write-verify retry budget per row write")
@@ -91,6 +102,12 @@ func main() {
 		fatal(err.Error())
 	}
 	gopim.SetWorkers(*workers)
+	// The kernel knobs share the GOPIM_WORKERS convention (see below):
+	// invalid values warn and fall back rather than abort, and neither
+	// knob can change output bytes — -spmm picks among bitwise-equal
+	// kernels, -sim-memo only skips recomputation.
+	spmm.Configure(*spmmFlag)
+	simmemo.Configure(*simMemo)
 
 	// Fault flags follow the GOPIM_WORKERS convention rather than the
 	// -format one: invalid values warn (via the obs warn path and the
@@ -296,6 +313,10 @@ func searchTheta(dataset string, seed int64, fast bool) error {
 		MaxLoss:     0.01,
 		Train:       gcn.Config{Epochs: epochs, Seed: seed, LR: 0.005, Dropout: 0},
 		StalePeriod: epochs / 5,
+		// Same content-key convention as the experiments' instance
+		// cache: the sweep's θ=1 baseline and any matching experiment
+		// run share one memoized training.
+		InstanceKey: fmt.Sprintf("%+v|%d|%d", d, seed, maxV),
 	})
 	fmt.Printf("θ search on %s (baseline accuracy %.2f%%):\n", dataset, res.Baseline*100)
 	for _, p := range res.Points {

@@ -12,6 +12,8 @@ import (
 
 	"gopim/internal/explain"
 	"gopim/internal/obs"
+	"gopim/internal/simmemo"
+	"gopim/internal/spmm"
 )
 
 // obsFlags carries the CLI's observability switches.
@@ -80,6 +82,24 @@ func (s *obsSession) setExplainInfo(ex *explain.Result) {
 		s.manifest.ExplainCritShare = ex.Stages[ex.BottleneckStage].CritShare
 	}
 	s.manifest.ExplainEq6GapFrac = ex.Eq6GapFrac
+}
+
+// setKernelInfo drains the SpMM autotuner's provenance into the run
+// manifest at exit: the forced -spmm strategy (when not auto), the
+// per-graph choices the run resolved, and the -sim-memo knob when the
+// memo layer was off. All omitempty, so default-run manifests keep
+// their pre-autotuner shape.
+func (s *obsSession) setKernelInfo() {
+	if s.manifest == nil {
+		return
+	}
+	if f := spmm.Forced(); f != spmm.Auto {
+		s.manifest.SpMMStrategy = f.String()
+	}
+	s.manifest.SpMMChoices = spmm.Choices()
+	if !simmemo.Enabled() {
+		s.manifest.SimMemo = "off"
+	}
 }
 
 // startObsSession validates the observability flags and opens their
@@ -219,6 +239,7 @@ func (s *obsSession) finish() error {
 		keep(s.tracer.WriteSummary(os.Stderr))
 	}
 	if s.manifest != nil {
+		s.setKernelInfo()
 		s.manifest.Finish()
 		keep(s.manifest.WriteFile(s.manifestPath()))
 	}

@@ -46,6 +46,10 @@ const Schema = 2
 type Config struct {
 	// Label names the output file (BENCH_<label>.json).
 	Label string
+	// Suite selects the workload family: "" (or "default") is the
+	// standard sim-matrix + experiments pair; KernelsSuite runs the SpMM
+	// strategy micro-benchmarks instead.
+	Suite string
 	// Seed drives all synthetic graph generation.
 	Seed int64
 	// Fast shrinks the experiment workloads (experiments.Options.Fast).
@@ -108,6 +112,7 @@ func (c *Config) defaults() {
 // Suite records the workload definition inside the BENCH file, so a
 // diff can tell when two files measured different things.
 type Suite struct {
+	Name        string   `json:"suite,omitempty"`
 	Seed        int64    `json:"seed"`
 	Fast        bool     `json:"fast"`
 	Warmup      int      `json:"warmup"`
@@ -277,6 +282,7 @@ func Run(cfg Config) (*File, error) {
 		Schema: Schema,
 		Label:  cfg.Label,
 		Suite: Suite{
+			Name: cfg.Suite,
 			Seed: cfg.Seed, Fast: cfg.Fast,
 			Warmup: cfg.Warmup, Repeats: cfg.Repeats,
 			Workers: cfg.Workers, Experiments: cfg.Experiments,
@@ -311,14 +317,18 @@ func Run(cfg Config) (*File, error) {
 		return err
 	}
 
+	var groups []benchGroup
+	switch cfg.Suite {
+	case "", "default":
+		groups = []benchGroup{{"sim-matrix", simMatrix}, {"experiments", expSuite}}
+	case KernelsSuite:
+		groups = kernelGroups(datasets, cfg.Seed, cfg.Fast)
+	default:
+		return nil, fmt.Errorf("bench: unknown suite %q (want default or %s)", cfg.Suite, KernelsSuite)
+	}
+
 	for _, w := range cfg.Workers {
-		for _, group := range []struct {
-			name string
-			body func() error
-		}{
-			{"sim-matrix", simMatrix},
-			{"experiments", expSuite},
-		} {
+		for _, group := range groups {
 			res, err := runConfig(fmt.Sprintf("%s/w%d", group.name, w),
 				w, cfg.Warmup, cfg.Repeats, group.body)
 			if err != nil {
@@ -330,6 +340,13 @@ func Run(cfg Config) (*File, error) {
 	}
 	f.Manifest.Finish()
 	return f, nil
+}
+
+// benchGroup is one named workload body the suite loop measures per
+// worker count.
+type benchGroup struct {
+	name string
+	body func() error
 }
 
 // runConfig measures one configuration: warmup passes, then repeats
@@ -349,6 +366,9 @@ func runConfig(name string, workers, warmup, repeats int, body func() error) (Co
 	stable := true
 	var msBefore, msAfter runtime.MemStats
 	for r := 0; r < repeats; r++ {
+		// Resetting the registry also clears the simmemo caches (its
+		// OnReset hook), so each repeat's Sim snapshot — hit/miss
+		// counters included — covers exactly one cold pass.
 		obs.Default().Reset()
 		runtime.ReadMemStats(&msBefore)
 		t0 := time.Now()

@@ -38,7 +38,7 @@ func faultsweep(opt Options) (*Result, error) {
 	thetas := []float64{1.0, 0.5}
 
 	maxV, epochs := trainSize(opt)
-	inst := d.Synthesize(opt.Seed+int64(len(d.Name)), maxV)
+	inst, instKey := instanceFor(d, opt.Seed+int64(len(d.Name)), maxV)
 	degs := make([]float64, inst.Graph.N)
 	for v := range degs {
 		degs[v] = float64(inst.Graph.Degree(v))
@@ -65,7 +65,7 @@ func faultsweep(opt Options) (*Result, error) {
 			if theta < 1 {
 				cfg.Plan = mapping.NewUpdatePlan(degs, theta, stale)
 			}
-			r := gcn.Train(inst, cfg)
+			r := gcn.TrainMemo(instKey, inst, cfg)
 			if rate == 0 {
 				baseline = r.Accuracy
 			}

@@ -65,8 +65,15 @@ func fastDatasets(names ...string) []graphgen.Dataset {
 // fig9 reproduces the predictor bake-off: (a) RMSE across model
 // families, (b) RMSE vs MLP depth, (c) RMSE vs hidden width.
 func fig9(opt Options) (*Result, error) {
-	samples := predictor.Generate(profileSpec(opt))
+	spec := profileSpec(opt)
+	samples := predictor.Generate(spec)
 	train, test := predictor.SplitTrainTest(samples, 0.2)
+	// The RMSE memo key must determine (model, train, test): the spec
+	// fingerprint pins the profile corpus (and with it the 8:2 split),
+	// the suffix pins the model variant. VariantKey canonicalises the
+	// suffix, so the three sweep axes that all name the default MLP
+	// (family "MLP", 3 layers, 256 neurons) train once and share.
+	specKey := fmt.Sprintf("%+v", spec)
 
 	res := &Result{
 		ID:     "fig9",
@@ -77,7 +84,7 @@ func fig9(opt Options) (*Result, error) {
 
 	// (a) model families.
 	for _, m := range predictor.Fig9Models() {
-		rmse := predictor.ModelRMSE(m.New, train, test)
+		rmse := predictor.ModelRMSECached(specKey+"|"+predictor.VariantKey("family:"+m.Name, m.New), m.New, train, test)
 		res.Rows = append(res.Rows, []string{"(a) family", m.Name, fmtF(rmse)})
 	}
 
@@ -88,9 +95,8 @@ func fig9(opt Options) (*Result, error) {
 	}
 	for _, depth := range depths {
 		d := depth
-		rmse := predictor.ModelRMSE(func() predictor.Regressor {
-			return predictor.MLPWithDepth(d)
-		}, train, test)
+		mk := func() predictor.Regressor { return predictor.MLPWithDepth(d) }
+		rmse := predictor.ModelRMSECached(specKey+"|"+predictor.VariantKey(fmt.Sprintf("depth:%d", d), mk), mk, train, test)
 		res.Rows = append(res.Rows, []string{"(b) depth", fmt.Sprintf("%d layers", d), fmtF(rmse)})
 	}
 
@@ -101,9 +107,8 @@ func fig9(opt Options) (*Result, error) {
 	}
 	for _, width := range widths {
 		w := width
-		rmse := predictor.ModelRMSE(func() predictor.Regressor {
-			return predictor.MLPWithWidth(w)
-		}, train, test)
+		mk := func() predictor.Regressor { return predictor.MLPWithWidth(w) }
+		rmse := predictor.ModelRMSECached(specKey+"|"+predictor.VariantKey(fmt.Sprintf("width:%d", w), mk), mk, train, test)
 		res.Rows = append(res.Rows, []string{"(c) width", fmt.Sprintf("%d neurons", w), fmtF(rmse)})
 	}
 
@@ -155,7 +160,7 @@ func predictTimesFor(p *predictor.TimePredictor, w accel.Workload) []float64 {
 	}
 	deg := w.Deg
 	if deg == nil {
-		deg = w.Dataset.SynthDegreeModel(w.Seed)
+		deg = accel.DegModelFor(w.Dataset, w.Seed)
 	}
 	return p.PredictTimes(stage.Config{
 		Chip:       reram.DefaultChip(),

@@ -62,8 +62,6 @@ type netWorkspace struct {
 	// delta[i] (i ≥ 1) is the loss gradient at the output of layer i-1;
 	// backprop walks it from delta[L] down to delta[1].
 	delta []*tensor.Matrix
-	actT  []*tensor.Matrix // Sizes[i] × rows: acts[i]ᵀ
-	wT    []*tensor.Matrix // Sizes[i+1] × Sizes[i]; nil for layer 0
 	gw    []*tensor.Matrix
 	gb    [][]float64
 	// in/tgt are the mini-batch gather buffers Fit fills row by row.
@@ -76,8 +74,6 @@ func newNetWorkspace(n *Net, rows int) *netWorkspace {
 		rows:  rows,
 		acts:  make([]*tensor.Matrix, layers+1),
 		delta: make([]*tensor.Matrix, layers+1),
-		actT:  make([]*tensor.Matrix, layers),
-		wT:    make([]*tensor.Matrix, layers),
 		gw:    make([]*tensor.Matrix, layers),
 		gb:    make([][]float64, layers),
 		in:    tensor.New(rows, n.Sizes[0]),
@@ -86,10 +82,6 @@ func newNetWorkspace(n *Net, rows int) *netWorkspace {
 	for i := 0; i < layers; i++ {
 		ws.acts[i+1] = tensor.New(rows, n.Sizes[i+1])
 		ws.delta[i+1] = tensor.New(rows, n.Sizes[i+1])
-		ws.actT[i] = tensor.New(n.Sizes[i], rows)
-		if i > 0 {
-			ws.wT[i] = tensor.New(n.Sizes[i+1], n.Sizes[i])
-		}
 		ws.gw[i] = tensor.New(n.Sizes[i], n.Sizes[i+1])
 		ws.gb[i] = make([]float64, n.Sizes[i+1])
 	}
@@ -153,14 +145,15 @@ func (n *Net) backwardWS(ws *netWorkspace, target *tensor.Matrix) (float64, grad
 	delta.ScaleInPlace(2 / (batch * float64(target.Cols)))
 
 	for i := layers - 1; i >= 0; i-- {
-		in := ws.acts[i]
-		tensor.TransposeInto(ws.actT[i], in)
-		tensor.MatMulInto(ws.gw[i], ws.actT[i], delta)
+		// dW = inᵀ·δ and dIn = δ·Wᵀ run through the transpose-fused
+		// kernels: per output element the accumulation order matches the
+		// historic transpose-then-multiply exactly, without paying for a
+		// materialised inᵀ/Wᵀ every mini-batch.
+		tensor.MatMulTNInto(ws.gw[i], ws.acts[i], delta)
 		delta.ColSumsInto(ws.gb[i])
 		if i > 0 {
 			// Propagate through the previous ReLU.
-			tensor.TransposeInto(ws.wT[i], n.Weights[i])
-			tensor.MatMulInto(ws.delta[i], delta, ws.wT[i])
+			tensor.MatMulNTInto(ws.delta[i], delta, n.Weights[i])
 			delta = ws.delta[i]
 			dd := delta.Data
 			for j, av := range ws.acts[i].Data {

@@ -44,9 +44,17 @@ type Manifest struct {
 	// Critical-path headline figures (`gopim explain`), recorded only
 	// when an explain analysis ran this invocation — same omitempty
 	// byte-stability contract as the fault keys.
-	ExplainBottleneck string    `json:"explain_bottleneck,omitempty"`
-	ExplainCritShare  float64   `json:"explain_crit_share,omitempty"`
-	ExplainEq6GapFrac float64   `json:"explain_eq6_gap_frac,omitempty"`
+	ExplainBottleneck string  `json:"explain_bottleneck,omitempty"`
+	ExplainCritShare  float64 `json:"explain_crit_share,omitempty"`
+	ExplainEq6GapFrac float64 `json:"explain_eq6_gap_frac,omitempty"`
+	// SpMM autotuner provenance: the forced strategy (-spmm, only when
+	// not auto) and the per-graph choices the run's training aggregations
+	// resolved to. SimMemo records the -sim-memo knob only when the memo
+	// layer was disabled. All omit when empty — the same byte-stability
+	// contract as the fault keys above.
+	SpMMStrategy string            `json:"spmm_strategy,omitempty"`
+	SpMMChoices  map[string]string `json:"spmm_choices,omitempty"`
+	SimMemo      string            `json:"sim_memo,omitempty"`
 	StartedAt         time.Time `json:"started_at"`
 	WallMS            float64   `json:"wall_ms"`
 	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish

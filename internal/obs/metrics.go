@@ -320,6 +320,13 @@ func (t *Timer) Kind() string { return "timer" }
 type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]Metric
+	// resetHooks run after Reset zeroes the metrics. Subsystems whose
+	// Sim counters depend on process-global cache state (the simmemo
+	// layer) register one so a registry reset restores their cold-start
+	// state too — otherwise the first pass after a reset would count
+	// cache hits the counters can no longer explain.
+	hookMu     sync.Mutex
+	resetHooks []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -425,15 +432,32 @@ func NewHistogram(name string, clock Clock, help string) *Histogram {
 // NewTimer registers a Wall-clock timer in the default registry.
 func NewTimer(name, help string) *Timer { return defaultRegistry.NewTimer(name, help) }
 
-// Reset zeroes every metric's accumulated values. Registration stays;
-// only values reset. Tests use this between determinism runs.
+// Reset zeroes every metric's accumulated values and then runs the
+// registered reset hooks. Registration stays; only values reset. Tests
+// and the bench harness use this between determinism runs.
 func (r *Registry) Reset() {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	for _, m := range r.metrics {
 		m.Reset()
 	}
+	r.mu.RUnlock()
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.resetHooks...)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
+
+// OnReset registers fn to run after every Reset of this registry.
+func (r *Registry) OnReset(fn func()) {
+	r.hookMu.Lock()
+	r.resetHooks = append(r.resetHooks, fn)
+	r.hookMu.Unlock()
+}
+
+// OnReset registers fn against the default registry.
+func OnReset(fn func()) { defaultRegistry.OnReset(fn) }
 
 // MetricSnapshot is one metric's rendered state.
 type MetricSnapshot struct {

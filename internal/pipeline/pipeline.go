@@ -112,6 +112,26 @@ func EffectiveTimes(times []float64, replicas []int) []float64 {
 
 // Simulate runs the schedule and returns timing and idle statistics.
 func Simulate(in Input) Result {
+	res := SimulateUnrecorded(in)
+	RecordSim(len(in.TimesNS), in.MicroBatches, res.MakespanNS)
+	return res
+}
+
+// RecordSim publishes exactly the metrics one Simulate call records,
+// from the simulation's shape and outcome. Memoizing callers (accel's
+// run cache) pair it with SimulateUnrecorded so a cached run replays
+// the same metric effect as a fresh one.
+func RecordSim(stages, microBatches int, makespanNS float64) {
+	mSimulations.Inc()
+	mMicroBatches.Add(int64(microBatches))
+	mStages.Add(int64(stages))
+	mMicroBatchHist.Observe(int64(microBatches))
+	mMakespan.Observe(makespanNS)
+}
+
+// SimulateUnrecorded is Simulate without the metric records — the
+// computation is a pure function of the input.
+func SimulateUnrecorded(in Input) Result {
 	if len(in.TimesNS) == 0 {
 		panic("pipeline: no stages")
 	}
@@ -148,12 +168,6 @@ func Simulate(in Input) Result {
 	default:
 		panic(fmt.Sprintf("pipeline: unknown mode %v", in.Mode))
 	}
-
-	mSimulations.Inc()
-	mMicroBatches.Add(int64(in.MicroBatches))
-	mStages.Add(int64(len(in.TimesNS)))
-	mMicroBatchHist.Observe(int64(in.MicroBatches))
-	mMakespan.Observe(makespan)
 
 	busy := make([]float64, len(eff))
 	idle := make([]float64, len(eff))

@@ -429,6 +429,14 @@ func (m *MLP) Name() string {
 	return fmt.Sprintf("MLP%dx", len(m.Hidden)+2)
 }
 
+// MemoKey fingerprints everything Fit's outcome depends on, so memo
+// keys built from it collapse sweep axes that reach the same network:
+// Fig. 9's family "MLP", depth-3 and width-256 rows are all
+// NewMLP() and train once instead of three times.
+func (m *MLP) MemoKey() string {
+	return fmt.Sprintf("mlp:h=%v,e=%d,b=%d,lr=%g,seed=%d", m.Hidden, m.Epochs, m.Batch, m.LR, m.Seed)
+}
+
 func (m *MLP) Fit(X [][]float64, y []float64) {
 	if len(X) == 0 || len(X) != len(y) {
 		panic(fmt.Sprintf("predictor: mlp fit with %d rows, %d targets", len(X), len(y)))

@@ -6,6 +6,7 @@ import (
 
 	"gopim/internal/obs"
 	"gopim/internal/parallel"
+	"gopim/internal/simmemo"
 	"gopim/internal/stage"
 )
 
@@ -204,6 +205,50 @@ func ModelRMSE(newModel func() Regressor, train, test []Sample) float64 {
 	p := &TimePredictor{NewModel: newModel}
 	p.Train(train)
 	return p.RMSE(test)
+}
+
+// rmseCache memoizes ModelRMSECached bars. The model constructor is a
+// func and cannot be fingerprinted, so the caller's key must encode the
+// model variant along with whatever determines train/test.
+var rmseCache = simmemo.NewCache("rmse", 256)
+
+// rmseMemo carries the score plus the training-set size needed to
+// replay Train's Sim counters on a cache hit.
+type rmseMemo struct {
+	rmse         float64
+	trainSamples int
+}
+
+// ModelRMSECached is ModelRMSE memoized under a caller-provided key
+// that must uniquely determine (newModel, train, test) — typically the
+// profile-spec fingerprint plus the model variant name. An empty key
+// opts out. A hit replays the train-call and sample counters, so Sim
+// snapshots match the uncached path exactly.
+func ModelRMSECached(key string, newModel func() Regressor, train, test []Sample) float64 {
+	if key == "" {
+		return ModelRMSE(newModel, train, test)
+	}
+	out, hit := simmemo.DoOutcome(rmseCache, key, func() *rmseMemo {
+		return &rmseMemo{rmse: ModelRMSE(newModel, train, test), trainSamples: len(train)}
+	})
+	if hit {
+		mTrainCalls.Inc()
+		mTrainSamples.Add(int64(out.trainSamples))
+	}
+	return out.rmse
+}
+
+// VariantKey returns the memo-key suffix for one sweep variant: the
+// constructed model's own configuration fingerprint when it provides
+// one (MemoKey), else the sweep label. Canonical fingerprints are what
+// let different sweep axes that name the same configuration share a
+// single ModelRMSE computation; constructing the model here is cheap
+// (no training happens until Fit).
+func VariantKey(label string, newModel func() Regressor) string {
+	if k, ok := newModel().(interface{ MemoKey() string }); ok {
+		return k.MemoKey()
+	}
+	return label
 }
 
 // Fig9Models returns the model families of paper Fig. 9(a) keyed by

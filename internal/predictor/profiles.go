@@ -1,12 +1,14 @@
 package predictor
 
 import (
+	"fmt"
 	"math/rand"
 
 	"gopim/internal/graphgen"
 	"gopim/internal/obs"
 	"gopim/internal/parallel"
 	"gopim/internal/reram"
+	"gopim/internal/simmemo"
 	"gopim/internal/stage"
 )
 
@@ -85,13 +87,42 @@ func unitSeed(base int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// profileCache memoizes full profile sweeps by spec: the experiments
+// driver and the shared-predictor path regenerate the same spec per
+// sweep cell. The cached sample slice is shared — callers must treat
+// Generate's result as read-only (the existing consumers already copy:
+// SplitTrainTest and BlindFeatures build fresh slices).
+var profileCache = simmemo.NewCache("profile", 64)
+
+// profileMemo carries the sweep result plus the unit count needed to
+// replay Generate's Sim counters on a cache hit.
+type profileMemo struct {
+	units   int
+	samples []Sample
+}
+
 // Generate produces the profile dataset by sweeping the spec's axes
 // through the timing simulator. Units — one per (dataset, scale) pair,
 // covering that pair's full hidden-width × micro-batch sweep — run in
 // parallel and are concatenated in sweep order, so the sample list is
 // deterministic for a given seed regardless of worker count.
+//
+// Results are memoized by spec; the returned slice is shared across
+// same-spec calls and must not be mutated.
 func Generate(spec ProfileSpec) []Sample {
 	spec.defaults()
+	out := simmemo.Do(profileCache, fmt.Sprintf("%+v", spec), func() *profileMemo {
+		units, samples := generateCore(spec)
+		return &profileMemo{units: units, samples: samples}
+	})
+	mProfileUnits.Add(int64(out.units))
+	mProfileSamples.Add(int64(len(out.samples)))
+	return out.samples
+}
+
+// generateCore is the memoized body of Generate: a pure function of the
+// defaulted spec, with the counter records hoisted to the caller.
+func generateCore(spec ProfileSpec) (int, []Sample) {
 	type unit struct {
 		ds   graphgen.Dataset
 		n    int
@@ -142,7 +173,5 @@ func Generate(spec ProfileSpec) []Sample {
 	for _, s := range perUnit {
 		samples = append(samples, s...)
 	}
-	mProfileUnits.Add(int64(len(units)))
-	mProfileSamples.Add(int64(len(samples)))
-	return samples
+	return len(units), samples
 }

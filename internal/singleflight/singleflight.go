@@ -196,3 +196,20 @@ func (c *Cache[K, V]) Len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Reset drops every completed entry, returning the cache to its
+// initial state. In-flight computations are left pinned: their runners
+// will complete and re-insert as if freshly computed, so a Reset racing
+// a Do never loses a result or deadlocks a waiter. Benchmark harnesses
+// call this between repeats so hit/miss counts derived from Do outcomes
+// cover exactly one pass.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.complete {
+			delete(c.entries, k)
+		}
+	}
+	c.order.Init()
+}

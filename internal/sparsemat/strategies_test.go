@@ -1,0 +1,273 @@
+package sparsemat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gopim/internal/tensor"
+)
+
+// Strategy-equivalence fixtures: the three degree shapes the autotuner
+// distinguishes. All are sized past spmmParallelMinFLOPs so the
+// parallel paths actually engage, and the dense width exceeds one
+// blocked tile so tiling has a seam to get wrong.
+
+// skewedCSR: a handful of heavy rows over a light power-law tail.
+func skewedCSR(rng *rand.Rand) *CSR {
+	const rows, cols = 300, 300
+	var entries []Entry
+	for r := 0; r < 4; r++ {
+		for c := 0; c < cols; c += 2 {
+			entries = append(entries, Entry{Row: r, Col: c, Val: rng.NormFloat64()})
+		}
+	}
+	for r := 4; r < rows; r++ {
+		deg := 1 + rng.Intn(4)
+		for k := 0; k < deg; k++ {
+			entries = append(entries, Entry{Row: r, Col: rng.Intn(cols), Val: rng.NormFloat64()})
+		}
+	}
+	return NewFromEntries(rows, cols, entries)
+}
+
+// emptyRowCSR: a random graph with a contiguous band of empty rows and
+// a few isolated ones.
+func emptyRowCSR(rng *rand.Rand) *CSR {
+	const rows, cols = 260, 200
+	var entries []Entry
+	for r := 0; r < rows; r++ {
+		if (r >= 40 && r < 80) || r == 0 || r == rows-1 {
+			continue
+		}
+		deg := 1 + rng.Intn(6)
+		for k := 0; k < deg; k++ {
+			entries = append(entries, Entry{Row: r, Col: rng.Intn(cols), Val: rng.NormFloat64()})
+		}
+	}
+	return NewFromEntries(rows, cols, entries)
+}
+
+// singleHubCSR: one row dense enough to cross hubRowMinNNZ (forcing
+// the edge strategy's column-parallel path), everything else degree ≤2.
+func singleHubCSR(rng *rand.Rand) *CSR {
+	const rows, cols = 500, 500
+	var entries []Entry
+	for c := 0; c < hubRowMinNNZ+100; c++ {
+		entries = append(entries, Entry{Row: 7, Col: c, Val: rng.NormFloat64()})
+	}
+	for r := 0; r < rows; r++ {
+		if r == 7 {
+			continue
+		}
+		entries = append(entries, Entry{Row: r, Col: rng.Intn(cols), Val: rng.NormFloat64()})
+	}
+	return NewFromEntries(rows, cols, entries)
+}
+
+var strategyFixtures = []struct {
+	name  string
+	build func(*rand.Rand) *CSR
+}{
+	{"skewed", skewedCSR},
+	{"emptyRows", emptyRowCSR},
+	{"singleHub", singleHubCSR},
+}
+
+var strategies = []struct {
+	name string
+	mul  func(m *CSR, dst, d *tensor.Matrix)
+}{
+	{"blocked", (*CSR).MulDenseIntoBlocked},
+	{"bucketed", (*CSR).MulDenseIntoBucketed},
+	{"edge", (*CSR).MulDenseIntoEdge},
+}
+
+// TestStrategiesBitwiseEqualMulDense pins every strategy against the
+// serial MulDenseInto reference, bit for bit, at 1/2/8 workers, on the
+// three fixture shapes.
+func TestStrategiesBitwiseEqualMulDense(t *testing.T) {
+	for _, fx := range strategyFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			m := fx.build(rng)
+			d := tensor.NewRandom(rng, m.Cols, 200, 1)
+			ref := tensor.New(m.Rows, d.Cols)
+			withWorkers(t, 1, func() { m.MulDenseInto(ref, d) })
+			for _, s := range strategies {
+				for _, w := range []int{1, 2, 8} {
+					withWorkers(t, w, func() {
+						got := tensor.New(m.Rows, d.Cols)
+						s.mul(m, got, d)
+						for i := range ref.Data {
+							if got.Data[i] != ref.Data[i] {
+								t.Fatalf("%s workers=%d: entry %d = %v, reference %v",
+									s.name, w, i, got.Data[i], ref.Data[i])
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestStrategiesBitwiseEqualTMulDense pins the backward-aggregation
+// route: running a strategy over Âᵀ (the once-per-Train transpose)
+// must match the serial TMulDenseInto scatter bit for bit — the same
+// equivalence MulDenseInto already guarantees, extended to the zoo.
+func TestStrategiesBitwiseEqualTMulDense(t *testing.T) {
+	for _, fx := range strategyFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			m := fx.build(rng)
+			d := tensor.NewRandom(rng, m.Rows, 200, 1)
+			ref := tensor.New(m.Cols, d.Cols)
+			m.TMulDenseInto(ref, d)
+			mt := m.Transpose()
+			for _, s := range strategies {
+				for _, w := range []int{1, 2, 8} {
+					withWorkers(t, w, func() {
+						got := tensor.New(mt.Rows, d.Cols)
+						s.mul(mt, got, d)
+						for i := range ref.Data {
+							if got.Data[i] != ref.Data[i] {
+								t.Fatalf("%s workers=%d: entry %d = %v, TMulDense %v",
+									s.name, w, i, got.Data[i], ref.Data[i])
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestStrategiesDirtyDst checks that every strategy fully overwrites a
+// poisoned destination — the Into contract the training workspaces
+// rely on when buffers are reused across epochs.
+func TestStrategiesDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := emptyRowCSR(rng)
+	d := tensor.NewRandom(rng, m.Cols, 150, 1)
+	ref := tensor.New(m.Rows, d.Cols)
+	m.MulDenseInto(ref, d)
+	for _, s := range strategies {
+		got := tensor.New(m.Rows, d.Cols)
+		for i := range got.Data {
+			got.Data[i] = 1e18
+		}
+		s.mul(m, got, d)
+		for i := range ref.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("%s: dirty dst entry %d = %v, want %v", s.name, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestBucketBounds checks the chunking is a partition of the row range
+// with monotone boundaries, and that a hub-heavy matrix gets more than
+// one chunk (the load-balancing point of the strategy).
+func TestBucketBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := singleHubCSR(rng)
+	bounds := m.bucketBounds(128)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != m.Rows {
+		t.Fatalf("bounds %v do not span [0,%d]", bounds, m.Rows)
+	}
+	if !sort.IntsAreSorted(bounds) {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] && !(i == len(bounds)-1 && m.Rows == 0) {
+			t.Fatalf("empty chunk at %d: %v", i, bounds)
+		}
+	}
+	if len(bounds) < 3 {
+		t.Fatalf("expected multiple chunks for hub matrix, got bounds %v", bounds)
+	}
+}
+
+// TestStats checks the selector features on a hand-built matrix.
+func TestStats(t *testing.T) {
+	m := NewFromEntries(4, 10, []Entry{
+		{0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+		{2, 5, 1},
+		{3, 9, 1},
+	})
+	s := m.Stats()
+	if s.Rows != 4 || s.Cols != 10 || s.NNZ != 6 {
+		t.Fatalf("shape stats wrong: %+v", s)
+	}
+	if s.MaxRowNNZ != 4 {
+		t.Fatalf("MaxRowNNZ = %d, want 4", s.MaxRowNNZ)
+	}
+	if s.AvgRowNNZ != 1.5 {
+		t.Fatalf("AvgRowNNZ = %v, want 1.5", s.AvgRowNNZ)
+	}
+	if s.Skew != 4/1.5 {
+		t.Fatalf("Skew = %v, want %v", s.Skew, 4/1.5)
+	}
+	var zero CSR
+	if z := zero.Stats(); z.AvgRowNNZ != 0 || z.Skew != 0 {
+		t.Fatalf("zero-matrix stats should be zero: %+v", z)
+	}
+}
+
+// BenchmarkCSRAtHubRow measures At on a hub row. The binary-search At
+// (sort.SearchInts over the sorted-column invariant) is the shipped
+// implementation; the linear sub-benchmark re-implements the old scan
+// as the comparison baseline, so the win is visible in one run.
+func BenchmarkCSRAtHubRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	m := singleHubCSR(rng)
+	const hub = 7
+	cols, vals := m.Row(hub)
+	probe := cols[len(cols)-1] // worst case for the linear scan
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += m.At(hub, probe)
+		}
+		_ = sink
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for j, c := range cols {
+				if c == probe {
+					sink += vals[j]
+					break
+				}
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkSpMMStrategies times each strategy on the skewed fixture —
+// the microbenchmark behind `gopim bench -suite kernels`.
+func BenchmarkSpMMStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	m := skewedCSR(rng)
+	d := tensor.NewRandom(rng, m.Cols, 128, 1)
+	dst := tensor.New(m.Rows, d.Cols)
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.MulDenseInto(dst, d)
+		}
+	})
+	for _, s := range strategies {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.mul(m, dst, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package spmm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gopim/internal/obs"
+	"gopim/internal/sparsemat"
+	"gopim/internal/tensor"
+)
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, s := range []Strategy{Auto, Row, Blocked, Bucketed, Edge} {
+		got, ok := Parse(s.String())
+		if !ok || got != s {
+			t.Fatalf("Parse(%q) = %v/%v, want %v", s.String(), got, ok, s)
+		}
+	}
+	if _, ok := Parse("diagonal"); ok {
+		t.Fatal("Parse must reject unknown strategies")
+	}
+	if Strategy(200).String() != "auto" {
+		t.Fatal("out-of-range strategies must print as auto")
+	}
+}
+
+// TestConfigure pins the knob contract: valid values force a strategy,
+// invalid ones warn + count + keep auto, the env var backs the flag.
+func TestConfigure(t *testing.T) {
+	defer SetForced(Auto)
+	var warnings bytes.Buffer
+	restore := obs.SetWarnOutput(&warnings)
+	defer restore()
+
+	SetForced(Auto)
+	t.Setenv(EnvVar, "")
+	Configure("bucketed")
+	if Forced() != Bucketed {
+		t.Fatalf("Forced() = %v, want bucketed", Forced())
+	}
+
+	SetForced(Auto)
+	before := mFlagsInvalid.Value()
+	Configure("fast")
+	if Forced() != Auto {
+		t.Fatal("invalid -spmm must keep auto")
+	}
+	if mFlagsInvalid.Value() != before+1 {
+		t.Fatal("invalid -spmm must bump spmm.flags_invalid")
+	}
+	if !strings.Contains(warnings.String(), "spmm") {
+		t.Fatalf("expected a warning naming the knob, got %q", warnings.String())
+	}
+
+	SetForced(Auto)
+	t.Setenv(EnvVar, "edge")
+	Configure("")
+	if Forced() != Edge {
+		t.Fatalf("empty flag must fall back to %s, got %v", EnvVar, Forced())
+	}
+
+	SetForced(Auto)
+	t.Setenv(EnvVar, "row")
+	Configure("blocked")
+	if Forced() != Blocked {
+		t.Fatal("the flag must win over the environment")
+	}
+}
+
+// TestSelectThresholds walks the selector's decision boundaries.
+func TestSelectThresholds(t *testing.T) {
+	cases := []struct {
+		name string
+		st   sparsemat.Stats
+		want Strategy
+	}{
+		{"hub+skew → edge", sparsemat.Stats{MaxRowNNZ: selectEdgeMinHubNNZ, Skew: selectEdgeMinSkew}, Edge},
+		{"hub without skew → bucketed", sparsemat.Stats{MaxRowNNZ: selectEdgeMinHubNNZ, Skew: selectBucketMinSkew}, Bucketed},
+		{"skew without hub → bucketed", sparsemat.Stats{MaxRowNNZ: 8, Skew: selectEdgeMinSkew}, Bucketed},
+		{"dense regular → blocked", sparsemat.Stats{AvgRowNNZ: selectBlockedMinAvg, Skew: 1}, Blocked},
+		{"light regular → row", sparsemat.Stats{AvgRowNNZ: 2, Skew: 1}, Row},
+		{"empty → row", sparsemat.Stats{}, Row},
+	}
+	for _, tc := range cases {
+		if got := Select(tc.st); got != tc.want {
+			t.Errorf("%s: Select(%+v) = %v, want %v", tc.name, tc.st, got, tc.want)
+		}
+	}
+}
+
+// randCSR builds a small random graph for dispatch tests.
+func randCSR(rng *rand.Rand, rows, cols, deg int) *sparsemat.CSR {
+	var entries []sparsemat.Entry
+	for r := 0; r < rows; r++ {
+		for k := 0; k < deg; k++ {
+			entries = append(entries, sparsemat.Entry{Row: r, Col: rng.Intn(cols), Val: rng.NormFloat64()})
+		}
+	}
+	return sparsemat.NewFromEntries(rows, cols, entries)
+}
+
+// TestMulIntoDispatch: every named strategy, and Auto's resolved pick,
+// must match the row reference bit for bit through the dispatcher.
+func TestMulIntoDispatch(t *testing.T) {
+	defer SetForced(Auto)
+	SetForced(Auto)
+	rng := rand.New(rand.NewSource(5))
+	m := randCSR(rng, 120, 120, 5)
+	d := tensor.NewRandom(rng, 120, 16, 1)
+	ref := tensor.New(120, 16)
+	m.MulDenseInto(ref, d)
+	for _, s := range []Strategy{Auto, Row, Blocked, Bucketed, Edge} {
+		got := tensor.New(120, 16)
+		MulInto(s, m, got, d)
+		for i := range ref.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("strategy %v: entry %d = %v, want %v", s, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestForHonoursForced: a forced strategy overrides Select for every
+// graph; Auto restores per-graph selection.
+func TestForHonoursForced(t *testing.T) {
+	defer SetForced(Auto)
+	rng := rand.New(rand.NewSource(9))
+	m := randCSR(rng, 50, 50, 2) // light + regular: Select says Row
+	SetForced(Edge)
+	if got := For(m); got != Edge {
+		t.Fatalf("For under forced edge = %v", got)
+	}
+	SetForced(Auto)
+	if got := For(m); got != Select(m.Stats()) {
+		t.Fatalf("For under auto = %v, want Select's %v", got, Select(m.Stats()))
+	}
+}
+
+// TestRecordChoices pins the manifest choice map and its reset.
+func TestRecordChoices(t *testing.T) {
+	ResetChoices()
+	defer ResetChoices()
+	Record("g1/v100", Bucketed)
+	Record("g2/v200", Row)
+	Record("g1/v100", Bucketed) // idempotent for the map
+	ch := Choices()
+	if len(ch) != 2 || ch["g1/v100"] != "bucketed" || ch["g2/v200"] != "row" {
+		t.Fatalf("Choices() = %v", ch)
+	}
+	if keys := ChoiceKeys(); len(keys) != 2 || keys[0] != "g1/v100" || keys[1] != "g2/v200" {
+		t.Fatalf("ChoiceKeys() = %v, want sorted", keys)
+	}
+	// Choices hands back a copy: mutating it must not leak in.
+	ch["g3/v1"] = "edge"
+	if len(Choices()) != 2 {
+		t.Fatal("Choices must return a copy")
+	}
+	// Auto is never recorded — it means "not yet resolved".
+	Record("g4/v1", Auto)
+	if _, ok := Choices()["g4/v1"]; ok {
+		t.Fatal("Record(Auto) must be a no-op")
+	}
+	ResetChoices()
+	if Choices() != nil {
+		t.Fatal("ResetChoices must empty the map")
+	}
+}

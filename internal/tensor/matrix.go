@@ -267,6 +267,17 @@ func MatMulInto(dst, a, b *Matrix) {
 func matMulBlock(dst, a, b *Matrix, lo, hi int) {
 	cols := b.Cols
 	inner := a.Cols
+	if cols == 1 {
+		// Matrix·vector: b's single column is contiguous, so each output
+		// element is a straight dot product. The tile machinery would
+		// re-slice b once per k-step for a single element; the dot loop
+		// below runs the identical zero-skip/paired accumulation sequence
+		// in registers and stores each result once.
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = pairedDot(a.Row(i), b.Data)
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		orow := dst.Row(i)
 		for j := range orow {
@@ -322,6 +333,280 @@ func matMulBlock(dst, a, b *Matrix, lo, hi int) {
 						} else {
 							for j, bv := range bt0 {
 								ob[j] += av0 * bv
+							}
+							k = k1
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pairedDot returns Σₖ a[k]·b[k] accumulated exactly as the blocked
+// GEMM kernel accumulates one output element: k-ascending, zero entries
+// of a skipped without an FP op, and consecutive nonzero k-steps paired
+// into two separately rounded add/mul steps. Any kernel built on it is
+// byte-identical to matMulBlock for the same operand values.
+func pairedDot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var acc float64
+	k := 0
+	for k < len(a) {
+		av0 := a[k]
+		if av0 == 0 {
+			k++
+			continue
+		}
+		k2 := k + 1
+		for k2 < len(a) && a[k2] == 0 {
+			k2++
+		}
+		if k2 < len(a) {
+			v := acc + av0*b[k]
+			acc = v + a[k2]*b[k2]
+			k = k2 + 1
+		} else {
+			acc += av0 * b[k]
+			k = len(a)
+		}
+	}
+	return acc
+}
+
+// pairedDotStride is pairedDot with a strided left operand: it reads
+// a[k*stride] for k in [0, n) — column i of a row-major matrix when
+// called with a = Data[i:] — against a contiguous b. The accumulation
+// sequence is identical to pairedDot on the gathered column.
+func pairedDotStride(a []float64, stride, n int, b []float64) float64 {
+	b = b[:n]
+	var acc float64
+	k := 0
+	for k < n {
+		av0 := a[k*stride]
+		if av0 == 0 {
+			k++
+			continue
+		}
+		k2 := k + 1
+		for k2 < n && a[k2*stride] == 0 {
+			k2++
+		}
+		if k2 < n {
+			v := acc + av0*b[k]
+			acc = v + a[k2*stride]*b[k2]
+			k = k2 + 1
+		} else {
+			acc += av0 * b[k]
+			k = n
+		}
+	}
+	return acc
+}
+
+// MatMulTNInto computes dst = aᵀ·b without materialising the
+// transpose, reusing dst's storage. dst must be a.Cols × b.Cols and
+// must not alias a or b. It is byte-identical to
+// TransposeInto(at, a); MatMulInto(dst, at, b): per output element the
+// accumulation runs k-ascending over a's rows with the same zero-skip
+// and pairing as the plain kernel, only the gather of aᵀ's row (a
+// strided column read of a) is fused into the product.
+//
+// Training backward passes use it for weight gradients (dW = Xᵀ·Δ),
+// where materialising Xᵀ once per mini-batch cost more than the
+// product itself on thin matrices.
+func MatMulTNInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTN inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTNInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("tensor: MatMulTNInto dst must not alias a or b")
+	}
+	flopsPerRow := a.Rows * b.Cols
+	if dst.Rows*flopsPerRow < matmulParallelMinFLOPs {
+		matMulTNBlock(dst, a, b, 0, dst.Rows)
+		return
+	}
+	grain := matmulParallelMinFLOPs / (4 * (flopsPerRow + 1))
+	if parallel.Serial(dst.Rows, grain+1) {
+		matMulTNBlock(dst, a, b, 0, dst.Rows)
+		return
+	}
+	parallel.For(dst.Rows, grain+1, func(lo, hi int) {
+		matMulTNBlock(dst, a, b, lo, hi)
+	})
+}
+
+// matMulTNBlock computes dst rows [lo, hi) of aᵀ·b. Row i of dst reads
+// column i of a (stride a.Cols); the k/j tiling mirrors matMulBlock and
+// per output element the k order, zero-skip and pairing are unchanged.
+func matMulTNBlock(dst, a, b *Matrix, lo, hi int) {
+	cols := b.Cols
+	inner := a.Rows
+	ac := a.Cols
+	if cols == 1 {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = pairedDotStride(a.Data[i:], ac, inner, b.Data)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < inner; k0 += gemmBlockK {
+		k1 := k0 + gemmBlockK
+		if k1 > inner {
+			k1 = inner
+		}
+		for j0 := 0; j0 < cols; j0 += gemmBlockJ {
+			j1 := j0 + gemmBlockJ
+			if j1 > cols {
+				j1 = cols
+			}
+			for i := lo; i < hi; i++ {
+				acol := a.Data[i:]
+				ot := dst.Data[i*cols+j0 : i*cols+j1]
+				k := k0
+				for k < k1 {
+					av0 := acol[k*ac]
+					if av0 == 0 {
+						k++
+						continue
+					}
+					k2 := k + 1
+					for k2 < k1 && acol[k2*ac] == 0 {
+						k2++
+					}
+					bt0 := b.Data[k*cols+j0 : k*cols+j1]
+					ob := ot[:len(bt0)]
+					if k2 < k1 {
+						av1 := acol[k2*ac]
+						bt1 := b.Data[k2*cols+j0 : k2*cols+j1]
+						bt1 = bt1[:len(bt0)]
+						for j, bv := range bt0 {
+							v := ob[j] + av0*bv
+							ob[j] = v + av1*bt1[j]
+						}
+						k = k2 + 1
+					} else {
+						for j, bv := range bt0 {
+							ob[j] += av0 * bv
+						}
+						k = k1
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulNTInto computes dst = a·bᵀ without materialising the
+// transpose, reusing dst's storage. dst must be a.Rows × b.Rows and
+// must not alias a or b. It is byte-identical to
+// TransposeInto(bt, b); MatMulInto(dst, a, bt): output element (i, j)
+// is the dot product of a's row i and b's row j — both contiguous —
+// accumulated k-ascending with the plain kernel's zero-skip (on a's
+// entries) and pairing.
+//
+// Training backward passes use it to push gradients through a layer
+// (dX = Δ·Wᵀ) without re-transposing the weights every mini-batch.
+func MatMulNTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulNT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		panic("tensor: MatMulNTInto dst must not alias a or b")
+	}
+	flopsPerRow := a.Cols * b.Rows
+	if a.Rows*flopsPerRow < matmulParallelMinFLOPs {
+		matMulNTBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	grain := matmulParallelMinFLOPs / (4 * (flopsPerRow + 1))
+	if parallel.Serial(a.Rows, grain+1) {
+		matMulNTBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallel.For(a.Rows, grain+1, func(lo, hi int) {
+		matMulNTBlock(dst, a, b, lo, hi)
+	})
+}
+
+// matMulNTBlock computes dst rows [lo, hi) of a·bᵀ with the same
+// i/k/j tiling as matMulBlock: the j-wide inner loop keeps one
+// independent accumulator per output column (throughput-bound, like
+// the plain kernel) instead of a single serial dot chain, and the
+// zero-skip check on a[i,k] is amortised over the whole j tile.
+// bᵀ's row k is b's column k, read with stride b.Cols.
+func matMulNTBlock(dst, a, b *Matrix, lo, hi int) {
+	cols := b.Rows
+	inner := a.Cols
+	if cols == 1 {
+		// a·bᵀ with a single b row is a matrix·vector product against
+		// b's only (contiguous) row.
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = pairedDot(a.Row(i), b.Data)
+		}
+		return
+	}
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for i0 := lo; i0 < hi; i0 += gemmBlockI {
+		i1 := i0 + gemmBlockI
+		if i1 > hi {
+			i1 = hi
+		}
+		for k0 := 0; k0 < inner; k0 += gemmBlockK {
+			k1 := k0 + gemmBlockK
+			if k1 > inner {
+				k1 = inner
+			}
+			for j0 := 0; j0 < cols; j0 += gemmBlockJ {
+				j1 := j0 + gemmBlockJ
+				if j1 > cols {
+					j1 = cols
+				}
+				for i := i0; i < i1; i++ {
+					arow := a.Row(i)
+					ot := dst.Data[i*cols+j0 : i*cols+j1]
+					k := k0
+					for k < k1 {
+						av0 := arow[k]
+						if av0 == 0 {
+							k++
+							continue
+						}
+						k2 := k + 1
+						for k2 < k1 && arow[k2] == 0 {
+							k2++
+						}
+						if k2 < k1 {
+							av1 := arow[k2]
+							bc0 := bd[j0*inner+k:]
+							bc1 := bd[j0*inner+k2:]
+							for j := range ot {
+								v := ot[j] + av0*bc0[j*inner]
+								ot[j] = v + av1*bc1[j*inner]
+							}
+							k = k2 + 1
+						} else {
+							bc0 := bd[j0*inner+k:]
+							for j := range ot {
+								ot[j] += av0 * bc0[j*inner]
 							}
 							k = k1
 						}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"gopim/internal/obs"
+	"gopim/internal/simmemo"
 )
 
 // Event-level schedule metrics (Sim clock: functions of the input).
@@ -42,7 +43,9 @@ type Event struct {
 	EndNS      float64
 }
 
-// Schedule is a complete simulated execution.
+// Schedule is a complete simulated execution. Schedules returned by
+// Simulate/SimulateUnrecorded may be shared across callers via the
+// memo layer and must be treated as read-only.
 //
 // Events are appended micro-batch-major, stage-minor: the event for
 // (stage i, micro-batch j) sits at index j·len(TimesNS)+i. The explain
@@ -75,8 +78,11 @@ type Input struct {
 }
 
 // Simulate runs the event-level schedule and records the trace metrics.
+// The metrics are pure functions of (input, returned schedule), so the
+// recording happens on every call even when the schedule itself comes
+// from the memo — Sim snapshots are identical with the memo on or off.
 func Simulate(in Input) *Schedule {
-	sched := simulate(in)
+	sched := memoSimulate(in)
 	mSimulations.Inc()
 	mEvents.Add(int64(len(sched.Events)))
 	mMakespan.Observe(sched.MakespanNS)
@@ -90,7 +96,49 @@ func Simulate(in Input) *Schedule {
 // trace.simulations counting only the schedules the user asked for, so
 // existing Sim snapshots stay comparable across the explain feature's
 // introduction.
-func SimulateUnrecorded(in Input) *Schedule { return simulate(in) }
+func SimulateUnrecorded(in Input) *Schedule { return memoSimulate(in) }
+
+// schedCache memoizes event-level schedules by exact input tuple. The
+// explain analyzer's what-if perturbations and serve/sweep harnesses
+// re-simulate the same handful of inputs repeatedly; 512 entries is
+// far above any single run's distinct-input working set (the simmemo
+// capacity contract). Hits share the *Schedule — every consumer
+// (explain, gantt, Chrome export, serve) treats schedules as
+// read-only, which the Schedule doc now pins.
+var schedCache = simmemo.NewCache("trace", 512)
+
+// memoMaxEvents bounds what the memo will retain: schedules above
+// ~64k events (paper-scale one-off simulations) are cheap relative to
+// their footprint to re-run and would crowd the cache.
+const memoMaxEvents = 1 << 16
+
+// memoSimulate is the memoized core shared by Simulate and
+// SimulateUnrecorded. Results must be treated as immutable.
+func memoSimulate(in Input) *Schedule {
+	if !simmemo.Enabled() || len(in.TimesNS)*in.MicroBatches > memoMaxEvents {
+		return simulate(in)
+	}
+	return simmemo.Do(schedCache, in.fingerprint(), func() *Schedule { return simulate(in) })
+}
+
+// fingerprint renders the exact stage-input tuple: float64 latencies
+// by bit pattern, so two inputs collide only when every field is
+// bit-identical.
+func (in Input) fingerprint() string {
+	var b strings.Builder
+	b.Grow(18*len(in.TimesNS) + 8*len(in.Replicas) + 16)
+	for _, t := range in.TimesNS {
+		b.WriteString(strconv.FormatUint(math.Float64bits(t), 16))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, r := range in.Replicas {
+		b.WriteString(strconv.Itoa(r))
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "|%d|%d", in.MicroBatches, in.MicroBatchesPerBatch)
+	return b.String()
+}
 
 func simulate(in Input) *Schedule {
 	n := len(in.TimesNS)

@@ -43,6 +43,10 @@ type Config struct {
 	Train gcn.Config
 	// StalePeriod for non-important vertices; defaults to 20.
 	StalePeriod int
+	// InstanceKey, when non-empty, memoizes the sweep's training runs
+	// through gcn.TrainMemo. It must uniquely identify the instance's
+	// content (see TrainMemo); leave empty for ad-hoc instances.
+	InstanceKey string
 }
 
 // SearchTheta runs the paper's three steps — accuracy benchmarking,
@@ -73,7 +77,7 @@ func SearchTheta(inst *graphgen.Instance, cfg Config) SweepResult {
 	// Step 1: benchmark. The θ=1 run doubles as the exact baseline.
 	base := cfg.Train
 	base.Plan = nil
-	baseline := gcn.Train(inst, base).Accuracy
+	baseline := gcn.TrainMemo(cfg.InstanceKey, inst, base).Accuracy
 
 	res := SweepResult{Baseline: baseline, Chosen: 1}
 	sorted := append([]float64(nil), thetas...)
@@ -84,7 +88,7 @@ func SearchTheta(inst *graphgen.Instance, cfg Config) SweepResult {
 		}
 		run := cfg.Train
 		run.Plan = mapping.NewUpdatePlan(degs, theta, period)
-		r := gcn.Train(inst, run)
+		r := gcn.TrainMemo(cfg.InstanceKey, inst, run)
 		res.Points = append(res.Points, Point{
 			Theta:              theta,
 			Accuracy:           r.Accuracy,
