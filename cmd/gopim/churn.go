@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gopim"
+	"gopim/internal/accel"
+	"gopim/internal/churn"
+)
+
+// churnCmd implements `gopim churn`: stream a seeded graph-mutation
+// sequence through the GoPIM model and report, epoch by epoch, what the
+// robustness loop did about it — stripes the incremental re-mapper
+// moved, ISU plan refreshes, wear-driven crossbar retirements and the
+// degraded-allocation makespan. The churn knobs themselves are global
+// flags (-churn-rate/-churn-seed/-refresh-policy) so the same stream
+// definition also drives experiment sweeps; this subcommand only adds
+// the run length and the wear coupling.
+func churnCmd(args []string, seed int64, fast bool, cc churn.Config) error {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	defEpochs := 8
+	if fast {
+		defEpochs = 4
+	}
+	epochs := fs.Int("epochs", defEpochs, "number of churn epochs to stream")
+	wearDays := fs.Float64("wear-days", 0,
+		"days of production write traffic absorbed per epoch (0 = wear off)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gopim [-churn-rate p] [-churn-seed N] [-refresh-policy P] churn [-epochs N] [-wear-days D] <dataset>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gopim churn [-epochs N] [-wear-days D] <dataset>")
+	}
+	d, err := gopim.DatasetByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cc.DaysPerEpoch = *wearDays
+
+	res, err := accel.RunChurn(gopim.Workload{Dataset: d, Seed: seed}, cc, *epochs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streaming churn on %s — rate %.2g%%, seed %d, policy %s, %d epochs",
+		d.Name, cc.Rate*100, cc.Seed, cc.Policy, *epochs)
+	if *wearDays > 0 {
+		fmt.Printf(", %.3g wear-days/epoch", *wearDays)
+	}
+	fmt.Println(":")
+	if !cc.Enabled() {
+		fmt.Println("  (churn disabled — pass -churn-rate to mutate the graph; rows below are the static baseline)")
+	}
+	fmt.Printf("  %-5s  %6s  %6s  %8s  %6s  %-6s  %-7s  %4s  %7s  %s\n",
+		"epoch", "+edges", "-edges", "vertices", "moved", "remap", "refresh", "θ", "retired", "makespan")
+	for _, ep := range res.Epochs {
+		remap := "delta"
+		if ep.FullRemap {
+			remap = "FULL"
+		}
+		refresh := "-"
+		if ep.Refreshed {
+			refresh = "replan"
+		}
+		degraded := ""
+		if ep.Degraded {
+			degraded = "  (degraded)"
+		}
+		fmt.Printf("  %-5d  %6d  %6d  %8d  %6d  %-6s  %-7s  %3.0f%%  %7d  %.3g ms%s\n",
+			ep.Epoch, ep.EdgesAdded, ep.EdgesRemoved, ep.Vertices, ep.StripesMoved,
+			remap, refresh, ep.Theta*100, ep.Retired, ep.MakespanNS/1e6, degraded)
+	}
+	fmt.Printf("totals: +%d/-%d edges, %d stripes moved, %d full-remap fallbacks, %d plan refreshes, %d retirement events (%d crossbars retired), %d/%d epochs degraded\n",
+		res.EdgesAdded, res.EdgesRemoved, res.StripesMoved, res.FullRemaps,
+		res.Refreshes, res.Retirements, res.FinalRetired, res.DegradedEpochs, len(res.Epochs))
+	return nil
+}

@@ -10,6 +10,11 @@
 //	gopim gantt <dataset> <model>  render the pipeline schedule
 //	gopim theta <dataset>          re-derive the adaptive θ (§VI-C)
 //	gopim endurance <dataset>      ISU's array-lifetime effect
+//	gopim churn <dataset>          stream seeded graph mutations through
+//	                               the robustness loop: incremental
+//	                               re-mapping, ISU plan refreshes, wear
+//	                               retirement and degraded allocation
+//	                               (see -churn-rate below)
 //	gopim explain <dataset> [model]  critical-path bottleneck analysis:
 //	                               which stage bounds the makespan, why,
 //	                               and what ±1 replica would change
@@ -48,6 +53,17 @@
 //	-fault-verify-max N  write-verify retry budget per row write
 //	                     (default 8)
 //
+// Streaming-churn flags (see DESIGN.md §Streaming churn; all off by
+// default, same byte-stability contract as the fault flags):
+//
+//	-churn-rate p        fraction of edges mutated per churn epoch in
+//	                     [0,1]; 0 disables churn
+//	-churn-seed N        seed for the per-epoch churn streams
+//	                     (default 1); output is a pure function of it
+//	-refresh-policy P    when the ISU plan is recomputed under drift:
+//	                     eager, threshold or adaptive (default
+//	                     threshold)
+//
 // Observability flags (see DESIGN.md §Observability):
 //
 //	-metrics f   write a metrics snapshot on exit (.csv/.json by
@@ -66,6 +82,7 @@ import (
 	"os"
 
 	"gopim"
+	"gopim/internal/churn"
 	"gopim/internal/endurance"
 	"gopim/internal/experiments"
 	"gopim/internal/fault"
@@ -87,6 +104,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "stuck-at cell fault probability in [0,1] (0 = faults off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault streams")
 	faultVerifyMax := flag.Int("fault-verify-max", fault.DefaultVerifyMax, "write-verify retry budget per row write")
+	churnRate := flag.Float64("churn-rate", 0, "streaming-graph churn rate: fraction of edges mutated per epoch in [0,1] (0 = churn off)")
+	churnSeed := flag.Int64("churn-seed", 1, "seed for the deterministic churn streams")
+	refreshPolicy := flag.String("refresh-policy", "", "ISU plan refresh policy under churn: eager|threshold|adaptive (default threshold)")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot to this file on exit (.csv/.json by extension, else text)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file (default: derived from -metrics/-trace-out)")
@@ -116,6 +136,11 @@ func main() {
 	faultModel := fault.FromFlags(*faultRate, *faultSeed, *faultVerifyMax)
 	fault.SetDefault(faultModel)
 
+	// Churn flags share that convention: a bad rate or policy warns,
+	// bumps churn.flags_invalid and falls back (rate → 0, policy →
+	// threshold) instead of aborting.
+	churnCfg := churn.FromFlags(*churnRate, *churnSeed, *refreshPolicy)
+
 	// Same principle for the observability outputs: open files and bind
 	// the debug listener before any experiment runs.
 	sess, err := startObsSession(obsFlags{
@@ -133,6 +158,7 @@ func main() {
 		cfg := faultModel.Config()
 		sess.setFaultInfo(cfg.Rate, cfg.Seed, cfg.VerifyMax)
 	}
+	sess.setChurnInfo(churnCfg.Rate, churnCfg.Seed, string(churnCfg.Policy))
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -181,6 +207,10 @@ func main() {
 			fatal("usage: gopim endurance <dataset>")
 		}
 		if err := showEndurance(args[1], *seed); err != nil {
+			fatal(err.Error())
+		}
+	case "churn":
+		if err := churnCmd(args[1:], *seed, *fast, churnCfg); err != nil {
 			fatal(err.Error())
 		}
 	case "bench":
@@ -242,6 +272,7 @@ usage:
   gopim [flags] compare <dataset>
   gopim [flags] bench [-label L] [-repeats N] [-attrib]
   gopim [flags] explain [-mb N] [-json] [-no-sensitivity] [-gantt] <dataset> [model]
+  gopim [flags] churn [-epochs N] [-wear-days D] <dataset>
   gopim [flags] diff [-rel R] <old.json> <new.json>
   gopim [flags] serve [-addr A] [-serve-workers N] [-queue N] [-cache N]
 

@@ -70,6 +70,18 @@ func (s *obsSession) setFaultInfo(rate float64, seed int64, verifyMax int) {
 	s.manifest.FaultVerifyMax = verifyMax
 }
 
+// setChurnInfo records the sanitised streaming-churn knobs in the run
+// manifest. No-op when churn is off, so default-run manifests keep
+// their pre-churn shape.
+func (s *obsSession) setChurnInfo(rate float64, seed int64, policy string) {
+	if s.manifest == nil || rate <= 0 {
+		return
+	}
+	s.manifest.ChurnRate = rate
+	s.manifest.ChurnSeed = seed
+	s.manifest.RefreshPolicy = policy
+}
+
 // setExplainInfo records the headline critical-path figures in the
 // run manifest. No-op without a manifest, so other subcommands'
 // manifests keep their shape.

@@ -71,8 +71,8 @@ func TestCompareRender(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 17 {
-		t.Fatalf("want 17 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Fatalf("want 18 experiments, got %d: %v", len(ids), ids)
 	}
 	res, err := RunExperiment("fig7", ExperimentOptions{Seed: 1, Fast: true})
 	if err != nil {

@@ -1,0 +1,188 @@
+package accel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gopim/internal/churn"
+	"gopim/internal/fault"
+	"gopim/internal/obs"
+	"gopim/internal/parallel"
+)
+
+// churnConfig is the standard test scenario: 2% edge churn with wear
+// calibrated so the hottest rows cross the ReRAM write limit inside
+// the run, forcing mid-run retirement.
+func churnConfig(epochs int) churn.Config {
+	return churn.Config{
+		Rate:         0.02,
+		Seed:         7,
+		Policy:       churn.Threshold,
+		DaysPerEpoch: ChurnDaysForRetirement(epochs, 1.2),
+	}
+}
+
+// TestRunChurnRetirementMidRun is the acceptance scenario: sustained
+// churn accumulates wear, wear retires crossbars mid-run (not at
+// setup), and allocation degrades instead of erroring.
+func TestRunChurnRetirementMidRun(t *testing.T) {
+	const epochs = 8
+	res, err := RunChurn(ddiWorkload(t), churnConfig(epochs), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("got %d epoch rows, want %d", len(res.Epochs), epochs)
+	}
+	if res.EdgesAdded == 0 || res.EdgesRemoved == 0 {
+		t.Fatalf("2%% churn mutated nothing: %+v", res)
+	}
+	if res.StripesMoved == 0 {
+		t.Fatal("churn moved no stripes")
+	}
+	if res.Retirements == 0 {
+		t.Fatal("wear never triggered a retirement event")
+	}
+	if res.Epochs[0].Retired >= res.FinalRetired {
+		t.Fatalf("retirement did not grow mid-run: epoch0 %d, final %d",
+			res.Epochs[0].Retired, res.FinalRetired)
+	}
+	if res.DegradedEpochs == 0 {
+		t.Fatal("no epoch reported a degraded allocation despite retirements")
+	}
+	for _, ep := range res.Epochs {
+		if ep.MakespanNS <= 0 {
+			t.Fatalf("epoch %d has non-positive makespan %v", ep.Epoch, ep.MakespanNS)
+		}
+		if ep.Retired > 0 && !ep.Degraded {
+			t.Fatalf("epoch %d: %d crossbars retired but allocation not degraded", ep.Epoch, ep.Retired)
+		}
+	}
+}
+
+// TestRunChurnDeterministic: two identical runs — and runs at 1, 2 and
+// 8 workers — must produce identical results and byte-identical Sim
+// snapshots. Churn draws only from (seed, epoch)-keyed streams, so the
+// worker count must be invisible.
+func TestRunChurnDeterministic(t *testing.T) {
+	const epochs = 6
+	w := ddiWorkload(t)
+	cc := churnConfig(epochs)
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	defer parallel.SetWorkers(0)
+	defer obs.Default().Reset()
+
+	var wantRes ChurnResult
+	var wantSnap []byte
+	for _, workers := range []int{1, 2, 8} {
+		parallel.SetWorkers(workers)
+		obs.Default().Reset()
+		res, err := RunChurn(w, cc, epochs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Default().WriteText(&buf, obs.Sim); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []string{"churn.edges_added", "churn.stripes_moved", "churn.retirements_triggered"} {
+			if !strings.Contains(buf.String(), m) {
+				t.Fatalf("workers=%d: snapshot missing %s:\n%s", workers, m, buf.String())
+			}
+		}
+		if wantSnap == nil {
+			wantRes, wantSnap = res, buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), wantSnap) {
+			t.Errorf("workers=%d: churn Sim snapshot differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				workers, wantSnap, workers, buf.Bytes())
+		}
+		for i, ep := range res.Epochs {
+			if ep != wantRes.Epochs[i] {
+				t.Fatalf("workers=%d epoch %d diverged: %+v vs %+v", workers, i, ep, wantRes.Epochs[i])
+			}
+		}
+	}
+}
+
+// TestRunChurnZeroRateStaticPath is the churn-rate-0 pin: with churn
+// disabled the loop must be a structural no-op — no mutations, no
+// stripe moves, no retirements, and every epoch's makespan exactly the
+// static GoPIM run's.
+func TestRunChurnZeroRateStaticPath(t *testing.T) {
+	w := ddiWorkload(t)
+	res, err := RunChurn(w, churn.Config{Seed: 7, DaysPerEpoch: 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesAdded+res.EdgesRemoved+res.StripesMoved+res.FullRemaps+res.Retirements != 0 {
+		t.Fatalf("zero-rate churn did structural work: %+v", res)
+	}
+	static := Run(GoPIM, w)
+	for _, ep := range res.Epochs {
+		if ep.MakespanNS != static.MakespanNS {
+			t.Fatalf("epoch %d makespan %v != static GoPIM %v", ep.Epoch, ep.MakespanNS, static.MakespanNS)
+		}
+		if ep.Degraded {
+			t.Fatalf("epoch %d degraded without faults", ep.Epoch)
+		}
+	}
+}
+
+// TestRunChurnComposesWithBaseFaultModel: a base manufacturing fault
+// rate must compose with churn wear rather than being replaced by it.
+func TestRunChurnComposesWithBaseFaultModel(t *testing.T) {
+	const epochs = 4
+	w := ddiWorkload(t)
+	w.Fault = fault.MustNew(fault.Config{Rate: 1e-3, Seed: 3})
+	cc := churnConfig(epochs)
+	res, err := RunChurn(w, cc, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base rate alone retires some crossbars from epoch 0; wear can
+	// only add to that.
+	if res.Epochs[0].Retired == 0 {
+		t.Fatal("base fault rate retired nothing at epoch 0")
+	}
+	if res.FinalRetired < res.Epochs[0].Retired {
+		t.Fatalf("retired count shrank: %d → %d", res.Epochs[0].Retired, res.FinalRetired)
+	}
+}
+
+// TestRunChurnVertexArrivalsForceFullRemap: growing the vertex set
+// resizes the degree sequence, which the delta path cannot patch — it
+// must fall back to a full remap and still keep the loop consistent.
+func TestRunChurnVertexArrivalsForceFullRemap(t *testing.T) {
+	w := ddiWorkload(t)
+	res, err := RunChurn(w, churn.Config{VertexRate: 0.01, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullRemaps != 3 {
+		t.Fatalf("every arrival epoch must full-remap: got %d of 3", res.FullRemaps)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if first := res.Epochs[0]; last.Vertices <= first.Vertices {
+		t.Fatalf("vertex count did not grow: %d → %d", first.Vertices, last.Vertices)
+	}
+	if res.Refreshes != 3 {
+		t.Fatalf("arrival epochs must force plan refreshes: got %d of 3", res.Refreshes)
+	}
+}
+
+// TestRunChurnRejectsBadInput: invalid configs and epoch counts error
+// cleanly.
+func TestRunChurnRejectsBadInput(t *testing.T) {
+	w := ddiWorkload(t)
+	if _, err := RunChurn(w, churn.Config{}, 0); err == nil {
+		t.Fatal("epochs=0 must error")
+	}
+	if _, err := RunChurn(w, churn.Config{Rate: 2}, 1); err == nil {
+		t.Fatal("rate 2 must error")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sweep's rate-0 rows pin the static baseline: no stripes moved,
+// no fallbacks, and both accuracy columns equal. Nonzero rates must
+// show re-mapping traffic, and the table must be reproducible row for
+// row (the churn streams are seed-keyed, not order-keyed).
+func TestChurnsweepBaselinesAndTraffic(t *testing.T) {
+	res, err := Run("churnsweep", fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 2 θ × 3 fast rates
+		t.Fatalf("rows = %d, want 6:\n%v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1] == "0%" {
+			if row[6] != "0" || row[7] != "0" {
+				t.Fatalf("rate-0 row shows re-mapping traffic: %v", row)
+			}
+			if row[2] != row[3] || row[4] != "+0.00 pts" {
+				t.Fatalf("rate-0 row's stale and refreshed plans must coincide: %v", row)
+			}
+		} else if row[6] == "0" {
+			t.Fatalf("churning row moved no stripes: %v", row)
+		}
+	}
+
+	again, err := Run("churnsweep", fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if strings.Join(again.Rows[i], "|") != strings.Join(res.Rows[i], "|") {
+			t.Fatalf("row %d not reproducible:\n%v\nvs\n%v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}

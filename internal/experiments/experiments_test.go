@@ -10,9 +10,9 @@ import (
 var fastOpt = Options{Seed: 1, Fast: true}
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"abl", "cora", "faultsweep", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig4", "fig5", "fig6", "fig7", "fig9",
-		"gen", "tab5", "tab6", "tab7"}
+	want := []string{"abl", "churnsweep", "cora", "faultsweep", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig4", "fig5", "fig6", "fig7",
+		"fig9", "gen", "tab5", "tab6", "tab7"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

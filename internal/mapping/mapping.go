@@ -41,6 +41,10 @@ type Layout struct {
 	PhysGroups []int
 
 	slotOf []int // inverse of Order
+	// byDeg is the degree-ranked vertex order the striping was derived
+	// from (rank k → vertex), kept by the interleaved constructors so
+	// ApplyDelta can re-rank incrementally. Nil for index layouts.
+	byDeg []int
 }
 
 func newLayout(order []int, groupSize int, policy string) *Layout {
@@ -97,7 +101,9 @@ func InterleavedLayout(degrees []float64, groupSize int) *Layout {
 		}
 		order[slot] = v
 	}
-	return newLayout(order, groupSize, "interleaved")
+	l := newLayout(order, groupSize, "interleaved")
+	l.byDeg = byDeg
+	return l
 }
 
 // InterleavedLayoutHealthy is InterleavedLayout over a chip with
@@ -110,7 +116,18 @@ func InterleavedLayout(degrees []float64, groupSize int) *Layout {
 // short (or nil) dead slice degrades to the identity mapping.
 func InterleavedLayoutHealthy(degrees []float64, groupSize int, dead []bool) *Layout {
 	l := InterleavedLayout(degrees, groupSize)
-	phys := make([]int, l.NumGroups())
+	l.PhysGroups = healthyPhysGroups(l.NumGroups(), dead)
+	l.Policy = "interleaved-healthy"
+	return l
+}
+
+// healthyPhysGroups assigns each of numGroups logical groups the next
+// physical crossbar id whose dead flag is unset. Indices beyond
+// len(dead) count as healthy, so a fully-dead flag slice shifts every
+// group past the damaged region rather than failing: phys ids stay
+// strictly increasing (hence distinct) by construction.
+func healthyPhysGroups(numGroups int, dead []bool) []int {
+	phys := make([]int, numGroups)
 	next := 0
 	for g := range phys {
 		for next < len(dead) && dead[next] {
@@ -119,9 +136,7 @@ func InterleavedLayoutHealthy(degrees []float64, groupSize int, dead []bool) *La
 		phys[g] = next
 		next++
 	}
-	l.PhysGroups = phys
-	l.Policy = "interleaved-healthy"
-	return l
+	return phys
 }
 
 // PhysGroupOf returns the physical crossbar id of logical group g.

@@ -55,6 +55,12 @@ type Manifest struct {
 	SpMMStrategy string            `json:"spmm_strategy,omitempty"`
 	SpMMChoices  map[string]string `json:"spmm_choices,omitempty"`
 	SimMemo      string            `json:"sim_memo,omitempty"`
+	// Streaming-churn knobs (-churn-rate/-churn-seed/-refresh-policy),
+	// recorded only when churn is enabled — same omitempty byte-stability
+	// contract as the fault keys.
+	ChurnRate     float64 `json:"churn_rate,omitempty"`
+	ChurnSeed     int64   `json:"churn_seed,omitempty"`
+	RefreshPolicy string  `json:"refresh_policy,omitempty"`
 	StartedAt         time.Time `json:"started_at"`
 	WallMS            float64   `json:"wall_ms"`
 	// HeapAllocBytes and GCCount snapshot runtime.MemStats when Finish

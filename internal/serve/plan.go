@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 
 	"gopim/internal/accel"
@@ -126,6 +128,23 @@ func modelByName(name string) (accel.Kind, error) {
 		}
 	}
 	return 0, badf("unknown model %q (try Serial, SlimGNN-like, ReGraphX, ReFlip, GoPIM-Vanilla, GoPIM, +PP, +ISU, Pipelayer)", name)
+}
+
+// decodePlanRequest reads one /v1/plan body and folds it into the
+// normalized cache key — the complete untrusted-input surface of the
+// planning endpoint, factored out of the HTTP handler so the fuzz
+// target (FuzzDecodePlanRequest) can drive it directly with arbitrary
+// bytes. Malformed JSON, unknown fields and validation violations all
+// come back as badRequestError (HTTP 400); any other error class is a
+// server-side fault the handler maps to 500.
+func decodePlanRequest(body io.Reader) (planKey, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req PlanRequest
+	if err := dec.Decode(&req); err != nil {
+		return planKey{}, badf("decode request: %v", err)
+	}
+	return normalize(req)
 }
 
 // normalize validates req and folds defaults into a canonical cache

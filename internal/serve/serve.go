@@ -301,15 +301,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusMethodNotAllowed, errors.New("use POST with a JSON PlanRequest body"))
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	var req PlanRequest
-	if err := dec.Decode(&req); err != nil {
-		mBadRequests.Inc()
-		fail(http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	key, err := normalize(req)
+	key, err := decodePlanRequest(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		mBadRequests.Inc()
 		status := http.StatusBadRequest
